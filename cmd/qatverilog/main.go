@@ -1,0 +1,40 @@
+// qatverilog emits the paper's Figure 7 (had) and Figure 8 (next) Verilog
+// modules for a chosen entanglement degree — the same parametric designs
+// the author published, backed here by the executable netlists of
+// internal/netlist that are tested equivalent to the architectural
+// semantics.
+//
+// Usage:
+//
+//	qatverilog [-ways N] [had|next|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tangled/internal/netlist"
+)
+
+func main() {
+	ways := flag.Int("ways", 16, "entanglement degree (1-16)")
+	flag.Parse()
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	switch which {
+	case "had":
+		fmt.Print(netlist.HadVerilog(*ways))
+	case "next":
+		fmt.Print(netlist.NextVerilog(*ways))
+	case "all":
+		fmt.Print(netlist.HadVerilog(*ways))
+		fmt.Println()
+		fmt.Print(netlist.NextVerilog(*ways))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: qatverilog [-ways N] [had|next|all]")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,111 @@
+// tangled-asm assembles Tangled/Qat assembly source into a $readmemh-style
+// hex word image.
+//
+// Usage:
+//
+//	tangled-asm [-o image.hex] [-l] prog.asm
+//
+// With -l a listing (address, word, source line) is printed to stdout.
+// Input "-" reads from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tangled/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output hex image path (default: stdout)")
+	listing := flag.Bool("l", false, "print a listing to stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tangled-asm [-o out.hex] [-l] prog.asm")
+		os.Exit(2)
+	}
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *listing {
+		printListing(prog)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	} else if *listing {
+		return // listing already on stdout; don't mix in the image
+	}
+	if err := asm.WriteHex(w, prog.Words); err != nil {
+		fatal(err)
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func printListing(p *asm.Program) {
+	dis := asm.Disassemble(p.Words)
+	addr := 0
+	byAddr := map[int]string{}
+	for name, a := range p.Symbols {
+		if prev, ok := byAddr[int(a)]; ok {
+			byAddr[int(a)] = prev + " " + name
+		} else {
+			byAddr[int(a)] = name
+		}
+	}
+	i := 0
+	for _, text := range dis {
+		if labels, ok := byAddr[addr]; ok {
+			fmt.Printf("%s:\n", labels)
+		}
+		words := 1
+		if i+1 < len(p.Words) {
+			// Two-word forms consume the next word too; detect by
+			// re-rendering length.
+			if len(text) > 0 && (text[0] == 'q' || isTwoWordMnemonic(text)) {
+				words = 2
+			}
+		}
+		fmt.Printf("%04x:  %04x", addr, p.Words[addr])
+		if words == 2 {
+			fmt.Printf(" %04x", p.Words[addr+1])
+		} else {
+			fmt.Printf("     ")
+		}
+		fmt.Printf("  %s\n", text)
+		addr += words
+		i++
+	}
+}
+
+func isTwoWordMnemonic(text string) bool {
+	for _, m := range []string{"qand ", "qor ", "qxor ", "ccnot ", "cswap ", "cnot ", "swap "} {
+		if len(text) >= len(m) && text[:len(m)] == m {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tangled-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// tangled-dis disassembles a hex word image back to Tangled/Qat assembly.
+//
+// Usage:
+//
+//	tangled-dis image.hex      ("-" reads stdin)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tangled/internal/asm"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tangled-dis image.hex")
+		os.Exit(2)
+	}
+	var data []byte
+	var err error
+	if os.Args[1] == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fatal(err)
+	}
+	words, err := asm.ReadHex(strings.NewReader(string(data)))
+	if err != nil {
+		fatal(err)
+	}
+	for _, line := range asm.Disassemble(words) {
+		fmt.Println(line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tangled-dis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// tangled-recode transcodes a hex word image between instruction
+// encodings, demonstrating the paper's point that the Tangled/Qat binary
+// layout is a free choice ("students were permitted to change the
+// instruction encoding for each project").
+//
+// Usage:
+//
+//	tangled-recode [-from primary|student] [-to primary|student] image.hex
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"flag"
+
+	"tangled/internal/asm"
+	"tangled/internal/isa"
+)
+
+func codec(name string) (isa.Encoding, error) {
+	switch name {
+	case "primary":
+		return isa.Primary, nil
+	case "student":
+		return isa.Student, nil
+	default:
+		return nil, fmt.Errorf("unknown encoding %q (primary or student)", name)
+	}
+}
+
+func main() {
+	from := flag.String("from", "primary", "source encoding")
+	to := flag.String("to", "student", "destination encoding")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tangled-recode [-from enc] [-to enc] image.hex")
+		os.Exit(2)
+	}
+	src, err := codec(*from)
+	if err != nil {
+		fatal(err)
+	}
+	dst, err := codec(*to)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	words, err := asm.ReadHex(strings.NewReader(string(data)))
+	if err != nil {
+		fatal(err)
+	}
+	out, err := isa.Transcode(words, src, dst)
+	if err != nil {
+		fatal(err)
+	}
+	if err := asm.WriteHex(os.Stdout, out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tangled-recode:", err)
+	os.Exit(1)
+}

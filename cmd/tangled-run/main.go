@@ -1,0 +1,156 @@
+// tangled-run executes a Tangled/Qat program on the functional simulator or
+// on the cycle-accurate pipelined model.
+//
+// Usage:
+//
+//	tangled-run [flags] prog.asm      (assembly source, by .asm suffix)
+//	tangled-run [flags] image.hex     (hex word image otherwise)
+//
+// Flags select the machine organization; -stats prints retired-instruction
+// and cycle accounting after the run, -regs dumps the final register file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/isa"
+	"tangled/internal/pipeline"
+)
+
+func main() {
+	ways := flag.Int("ways", 16, "Qat entanglement degree (1-16)")
+	pipe := flag.Bool("pipeline", false, "run on the cycle-accurate pipelined model")
+	stages := flag.Int("stages", 5, "pipeline depth (4 or 5)")
+	noFwd := flag.Bool("no-forwarding", false, "disable forwarding (pipeline mode)")
+	narrow := flag.Bool("narrow-fetch", false, "charge an extra cycle for two-word fetches")
+	mulLat := flag.Int("mul-latency", 1, "EX cycles for integer multiply")
+	nextLat := flag.Int("next-latency", 1, "EX cycles for Qat next/pop")
+	constRegs := flag.Bool("const-regs", false, "Section 5 constant-register Qat variant")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	regs := flag.Bool("regs", false, "dump final registers")
+	trace := flag.Bool("trace", false, "trace every executed instruction (functional mode)")
+	pipeTrace := flag.Bool("pipetrace", false, "print the per-cycle stage diagram (pipeline mode)")
+	maxSteps := flag.Uint64("max-steps", 100_000_000, "execution budget")
+	encName := flag.String("enc", "primary", "binary encoding of the image/program (primary or student)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tangled-run [flags] prog.asm|image.hex")
+		os.Exit(2)
+	}
+	enc, err := encodingByName(*encName)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := loadProgram(flag.Arg(0), enc)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *pipe {
+		cfg := pipeline.Config{
+			Stages:              *stages,
+			Ways:                *ways,
+			Forwarding:          !*noFwd,
+			TwoWordFetchPenalty: *narrow,
+			MulLatency:          *mulLat,
+			QatNextLatency:      *nextLat,
+			ConstantRegs:        *constRegs,
+		}
+		p, err := pipeline.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		p.SetOutput(os.Stdout)
+		p.Machine().Enc = enc
+		if *pipeTrace {
+			p.SetTracer(p.WriteTracer(os.Stderr))
+		}
+		if err := p.Load(prog); err != nil {
+			fatal(err)
+		}
+		if err := p.Run(*maxSteps); err != nil {
+			fatal(err)
+		}
+		if *stats {
+			s := p.Stats
+			fmt.Fprintf(os.Stderr, "cycles=%d insts=%d CPI=%.3f load-use=%d raw=%d exbusy=%d fetch=%d flushes=%d flush-cycles=%d\n",
+				s.Cycles, s.Insts, s.CPI(), s.LoadUseStalls, s.RawStalls,
+				s.ExBusyStalls, s.FetchStalls, s.BranchFlushes, s.FlushCycles)
+		}
+		if *regs {
+			dumpRegs(p.Machine())
+		}
+		return
+	}
+
+	var m *cpu.Machine
+	if *constRegs {
+		m = cpu.NewWithConstants(*ways)
+	} else {
+		m = cpu.New(*ways)
+	}
+	m.Out = os.Stdout
+	m.Enc = enc
+	if *trace {
+		m.Trace = func(pc uint16, inst isa.Inst) {
+			fmt.Fprintf(os.Stderr, "%04x: %s\n", pc, inst)
+		}
+	}
+	if err := m.Load(prog); err != nil {
+		fatal(err)
+	}
+	if err := m.Run(*maxSteps); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := m.Stats
+		fmt.Fprintf(os.Stderr, "insts=%d tangled=%d qat=%d branches=%d taken=%d loads=%d stores=%d\n",
+			s.Insts, s.TangledInsts, s.QatInsts, s.Branches, s.BranchesTaken,
+			s.MemReads, s.MemWrites)
+	}
+	if *regs {
+		dumpRegs(m)
+	}
+}
+
+func encodingByName(name string) (isa.Encoding, error) {
+	switch name {
+	case "primary":
+		return isa.Primary, nil
+	case "student":
+		return isa.Student, nil
+	default:
+		return nil, fmt.Errorf("unknown encoding %q (primary or student)", name)
+	}
+}
+
+func loadProgram(path string, enc isa.Encoding) (*asm.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".asm") || strings.HasSuffix(path, ".s") {
+		return asm.AssembleWith(string(data), enc)
+	}
+	words, err := asm.ReadHex(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, err
+	}
+	return &asm.Program{Words: words}, nil
+}
+
+func dumpRegs(m *cpu.Machine) {
+	for i := 0; i < isa.NumRegs; i++ {
+		fmt.Fprintf(os.Stderr, "%-4s %6d (%#04x)\n", isa.RegName(uint8(i)), int16(m.Regs[i]), m.Regs[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tangled-run:", err)
+	os.Exit(1)
+}

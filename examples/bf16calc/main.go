@@ -1,0 +1,76 @@
+// bf16calc exercises the Tangled host ISA on its own — no Qat — with the
+// bfloat16 arithmetic the paper includes "primarily to better serve the
+// goals of that course". The assembly program approximates sqrt(x) for
+// several integers using Newton's method built purely from the Table 1
+// float instructions (addf, mulf, negf, recip, float, int), then prints
+// each result through sys.
+//
+// Run: go run ./examples/bf16calc
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tangled/internal/pipeline"
+	"tangled/internal/qasm"
+)
+
+// newtonSqrt emits assembly computing y = sqrt($2 as float) with k Newton
+// iterations: y' = y - (y*y - x) / (2y) = y*(1 - 0.5) + x/(2y)... expressed
+// with the available ops as y' = 0.5*(y + x*recip(y)).
+func newtonSqrt(k int) string {
+	var b strings.Builder
+	b.WriteString(`
+	float $2          ; x = (bfloat16) n
+	copy $3,$2        ; y0 = x (crude seed)
+	lex $4,1
+	float $4          ; 1.0
+	lex $5,2
+	float $5
+	recip $5          ; 0.5
+`)
+	for i := 0; i < k; i++ {
+		b.WriteString(`
+	copy $6,$3
+	recip $6          ; 1/y
+	mulf $6,$2        ; x/y
+	addf $6,$3        ; y + x/y
+	mulf $6,$5        ; 0.5*(y + x/y)
+	copy $3,$6
+`)
+	}
+	return b.String()
+}
+
+func main() {
+	var prog strings.Builder
+	for _, n := range []int{4, 9, 16, 25, 100, 144} {
+		// loadi, not lex: lex sign-extends its 8-bit immediate, so values
+		// above 127 (like 144) would arrive negative.
+		fmt.Fprintf(&prog, "loadi $2,%d\n", n)
+		prog.WriteString(newtonSqrt(8))
+		// Print the rounded integer sqrt and the bfloat16 value.
+		prog.WriteString(`
+	copy $1,$3
+	lex $0,3
+	sys               ; print float
+	copy $1,$3
+	int $1
+	lex $0,1
+	sys               ; print int
+`)
+	}
+	prog.WriteString("lex $0,0\nsys\n")
+
+	res, err := qasm.RunPipelined(prog.String(), pipeline.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Output)
+	fmt.Printf("\npipeline: %d instructions in %d cycles (CPI %.3f)\n",
+		res.Pipe.Insts, res.Pipe.Cycles, res.Pipe.CPI())
+	fmt.Printf("stalls from dependent float chains: raw=%d load-use=%d\n",
+		res.Pipe.RawStalls, res.Pipe.LoadUseStalls)
+}

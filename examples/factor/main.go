@@ -1,0 +1,70 @@
+// factor drives the complete Tangled/Qat toolchain end to end, exactly as
+// Section 4.2 of the paper does for Figure 10: the word-level factoring
+// program is compiled to gate-level Qat assembly, assembled to a binary
+// image, and executed on the cycle-accurate pipelined processor model.
+//
+// It runs both the paper's scaled-down problem (15, 4x4 operand bits on
+// 8-way entanglement — the student configuration) and the original LCPC'20
+// problem (221, 8x8 bits on the full 16-way hardware, which requires
+// register reuse — the paper notes its faithful greedy allocator wastes
+// registers).
+//
+// Run: go run ./examples/factor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tangled/internal/compile"
+	"tangled/internal/pipeline"
+	"tangled/internal/qasm"
+)
+
+func main() {
+	fmt.Println("== Figure 10: factor 15 on the 8-way student configuration ==")
+	cfg := pipeline.StudentConfig()
+	rep, err := qasm.Factor(15, 4, 4, compile.Options{}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(rep)
+
+	fmt.Println("\n== The original problem: factor 221 on 16-way Qat ==")
+	cfg16 := pipeline.DefaultConfig()
+	rep221, err := qasm.Factor(221, 8, 8, compile.Options{Reuse: true}, cfg16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(rep221)
+
+	fmt.Println("\n== Section 5 ablation: the same program under design variants ==")
+	variants := []struct {
+		name string
+		opts compile.Options
+	}{
+		{"paper-faithful (greedy, instructions)", compile.Options{}},
+		{"register reuse", compile.Options{Reuse: true}},
+		{"constant-register bank", compile.Options{ConstantRegs: true}},
+		{"reversible gates only", compile.Options{Reversible: true}},
+	}
+	for _, v := range variants {
+		r, err := qasm.Factor(15, 4, 4, v.opts, pipeline.StudentConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-40s %4d qat insts, %3d regs, %5d cycles\n",
+			v.name, r.QatInsts, r.RegsUsed, r.Result.Pipe.Cycles)
+	}
+}
+
+func report(rep *qasm.FactorReport) {
+	fmt.Printf("  %d = %d x %d\n", rep.N, rep.Factors[0], rep.Factors[1])
+	fmt.Printf("  generated Qat instructions: %d (paper's Figure 10: ~80 for n=15)\n", rep.QatInsts)
+	fmt.Printf("  Qat registers used:         %d (paper: 81 for n=15)\n", rep.RegsUsed)
+	s := rep.Result.Pipe
+	fmt.Printf("  pipeline: %d cycles / %d instructions = CPI %.3f\n",
+		s.Cycles, s.Insts, s.CPI())
+	fmt.Printf("  stalls: load-use %d, fetch %d, flushes %d\n",
+		s.LoadUseStalls, s.FetchStalls, s.FlushCycles)
+}

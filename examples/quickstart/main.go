@@ -1,0 +1,46 @@
+// Quickstart: the paper's Figure 9 word-level prime factoring of 15,
+// written against the PBP programming layer (package core).
+//
+// Two four-bit pattern integers are Hadamard-initialized over disjoint
+// entanglement channel sets, so their product simultaneously explores all
+// 256 operand pairs. A single equality gate marks the channels where
+// b*c == 15, and a non-destructive measurement reads out every factor at
+// once — no repeated runs, no collapse.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"tangled/internal/aob"
+	"tangled/internal/core"
+)
+
+func main() {
+	// An 8-way entangled machine: 256 entanglement channels, the size the
+	// student Qat implementations supported.
+	m := core.NewAoB(8)
+
+	a := core.Mk(m, 4, 15)  // pint a = pint_mk(4, 15)   a = 15
+	b := core.H(m, 4, 0x0F) // pint b = pint_h(4, 0x0f)  b = 0..15
+	c := core.H(m, 4, 0xF0) // pint c = pint_h(4, 0xf0)  c = 0..15
+	d := b.Mul(c)           // pint d = pint_mul(b, c)   d = b*c
+	e := d.Eq(a)            // pint e = pint_eq(d, a)    e = (d == 15)
+	ep := core.FromBits(m, []*aob.Vector{e})
+	f := ep.Mul(b) // pint f = pint_mul(e, b)   zero the non-factors
+
+	// pint_measure(f): the paper prints 0, 1, 3, 5, 15.
+	fmt.Println("pint_measure(f) — every value in the superposition:")
+	for _, meas := range f.MeasureAll() {
+		fmt.Printf("  value %3d  probability %d/256\n", meas.Value, meas.Count)
+	}
+
+	// The Tangled/Qat shortcut from Section 4.2: each 1 channel of e
+	// directly encodes a factorization (channel%16) * (channel/16).
+	fmt.Println("\nfactorizations encoded in e's entanglement channels:")
+	core.ChannelsWhere[*aob.Vector](m, e, func(ch uint64) bool {
+		fmt.Printf("  channel %3d: %2d x %2d\n", ch, ch%16, ch/16)
+		return true
+	})
+}

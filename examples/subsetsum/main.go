@@ -1,0 +1,80 @@
+// subsetsum solves subset-sum the PBP way: each item's inclusion is a
+// Hadamard pbit on its own entanglement channel set, a gated ripple-carry
+// accumulator forms the superposed sum of all 2^n subsets at once, and the
+// non-destructive measurement idiom (next-chaining on the equality
+// indicator) enumerates every solution — each channel number IS the subset
+// bitmask.
+//
+// The 16-item instance matches the real Qat hardware exactly: 16-way
+// entanglement, 65,536-channel AoB registers. The 28-item instance runs on
+// the tree-compressed rex backend — 268 million channels, far beyond any
+// AoB register.
+//
+// Run: go run ./examples/subsetsum
+package main
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tangled/internal/core"
+	"tangled/internal/rex"
+)
+
+// subsetSum builds the indicator pbit for "the chosen subset of weights
+// sums to target" and returns it with the sum's bit width.
+func subsetSum[V any](m core.Machine[V], weights []uint64, target uint64) V {
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	width := bits.Len64(total)
+	acc := core.Mk(m, width, 0)
+	zero := core.Mk(m, width, 0)
+	for i, w := range weights {
+		sel := m.Had(i) // include item i?
+		gated := zero.Mux(core.Mk(m, width, w), sel)
+		acc = acc.Add(gated).Truncate(width)
+	}
+	return acc.Eq(core.Mk(m, width, target))
+}
+
+func report[V any](m core.Machine[V], ind V, weights []uint64, maxShow int) {
+	count := m.Pop(ind)
+	fmt.Printf("solutions: %d of %d subsets\n", count, m.Channels())
+	shown := 0
+	core.ChannelsWhere(m, ind, func(ch uint64) bool {
+		var parts []uint64
+		var sum uint64
+		for i, w := range weights {
+			if ch>>uint(i)&1 == 1 {
+				parts = append(parts, w)
+				sum += w
+			}
+		}
+		fmt.Printf("  subset %#07x: %v (sum %d)\n", ch, parts, sum)
+		shown++
+		return shown < maxShow
+	})
+}
+
+func main() {
+	weights := []uint64{3, 34, 4, 12, 5, 2, 17, 29, 8, 21, 6, 11, 41, 9, 14, 7}
+	const target = 100
+	fmt.Printf("subset-sum over %d items, target %d — AoB backend (exact Qat hardware scale)\n",
+		len(weights), target)
+	m := core.NewAoB(16)
+	ind := subsetSum(m, weights, target)
+	report(m, ind, weights, 5)
+
+	// Beyond hardware: 28 items on the compressed backend.
+	big := append(append([]uint64{}, weights...),
+		19, 23, 31, 37, 13, 16, 18, 22, 26, 28, 32, 36)
+	fmt.Printf("\nsame problem at %d items — rex backend (2^%d channels)\n",
+		len(big), len(big))
+	mr := core.NewRex(rex.MustSpace(len(big), 12))
+	indBig := subsetSum(mr, big, target)
+	fmt.Printf("solutions: %d of %d subsets\n", mr.Pop(indBig), mr.Channels())
+	first := mr.Next(indBig, 0)
+	fmt.Printf("first solution above channel 0: %#x\n", first)
+}

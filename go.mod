@@ -1,0 +1,3 @@
+module tangled
+
+go 1.22

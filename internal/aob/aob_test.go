@@ -1,0 +1,645 @@
+package aob
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randVector builds a random ways-way vector from the given source.
+func randVector(r *rand.Rand, ways int) *Vector {
+	v := New(ways)
+	for i := 0; i < v.NumWords(); i++ {
+		v.SetWord(i, r.Uint64())
+	}
+	return v
+}
+
+func TestNewIsZero(t *testing.T) {
+	for ways := 0; ways <= MaxWays; ways++ {
+		v := New(ways)
+		if v.Ways() != ways {
+			t.Fatalf("ways=%d: Ways()=%d", ways, v.Ways())
+		}
+		if v.Channels() != uint64(1)<<uint(ways) {
+			t.Fatalf("ways=%d: Channels()=%d", ways, v.Channels())
+		}
+		if v.Pop() != 0 {
+			t.Fatalf("ways=%d: new vector pop=%d, want 0", ways, v.Pop())
+		}
+		if v.Any() {
+			t.Fatalf("ways=%d: new vector Any()=true", ways)
+		}
+	}
+}
+
+func TestNewPanicsOnBadWays(t *testing.T) {
+	for _, ways := range []int{-1, MaxWays + 1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", ways)
+				}
+			}()
+			New(ways)
+		}()
+	}
+}
+
+func TestOneAndAll(t *testing.T) {
+	for ways := 0; ways <= 10; ways++ {
+		v := New(ways)
+		v.One()
+		if v.Pop() != v.Channels() {
+			t.Fatalf("ways=%d: One pop=%d want %d", ways, v.Pop(), v.Channels())
+		}
+		if !v.All() {
+			t.Fatalf("ways=%d: All()=false on all-ones", ways)
+		}
+		v.Set(v.Channels()-1, false)
+		if ways > 0 && v.All() {
+			t.Fatalf("ways=%d: All()=true with one zero", ways)
+		}
+	}
+}
+
+// TestFig1AoBExample reproduces the paper's Figure 1: two 2-way entangled
+// pbits whose AoB vectors are {0,1,0,1} and {0,0,1,1}; taken as a 2-bit
+// value (top vector least significant) the channels encode 0,1,2,3.
+func TestFig1AoBExample(t *testing.T) {
+	lo := HadVector(2, 0) // {0,1,0,1}
+	hi := HadVector(2, 1) // {0,0,1,1}
+	if lo.String() != "0101" {
+		t.Fatalf("lo = %s, want 0101", lo)
+	}
+	if hi.String() != "0011" {
+		t.Fatalf("hi = %s, want 0011", hi)
+	}
+	for ch := uint64(0); ch < 4; ch++ {
+		got := lo.Meas(ch) | hi.Meas(ch)<<1
+		if got != ch {
+			t.Errorf("channel %d encodes %d, want %d", ch, got, ch)
+		}
+	}
+}
+
+// TestFig1PdfExample checks the second Figure 1 example: vectors {0,0,1,0}
+// and {0,0,1,1} encode the value multiset {0,0,3,2} — 50% 0, 0% 1, 25% 2,
+// 25% 3.
+func TestFig1PdfExample(t *testing.T) {
+	lo, err := FromString(2, "0010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := FromString(2, "0011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for ch := uint64(0); ch < 4; ch++ {
+		counts[lo.Meas(ch)|hi.Meas(ch)<<1]++
+	}
+	want := map[uint64]int{0: 2, 2: 1, 3: 1}
+	for val, n := range want {
+		if counts[val] != n {
+			t.Errorf("value %d appears %d times, want %d", val, counts[val], n)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("value 1 appears %d times, want 0", counts[1])
+	}
+}
+
+// TestFig7HadPattern verifies the Figure 7 semantics: channel e of Had(k)
+// holds bit k of the binary representation of e, for every ways and k.
+func TestFig7HadPattern(t *testing.T) {
+	for ways := 1; ways <= 12; ways++ {
+		for k := 0; k < ways; k++ {
+			v := HadVector(ways, k)
+			for ch := uint64(0); ch < v.Channels(); ch++ {
+				want := (ch>>uint(k))&1 == 1
+				if v.Get(ch) != want {
+					t.Fatalf("ways=%d k=%d ch=%d: got %v want %v",
+						ways, k, ch, v.Get(ch), want)
+				}
+			}
+		}
+	}
+}
+
+// TestFig7Had16Way spot-checks the full Qat-sized pattern: had @a,15 is
+// 32,768 zeros followed by 32,768 ones, and had @a,0 alternates 0,1.
+func TestFig7Had16Way(t *testing.T) {
+	v := HadVector(16, 15)
+	if v.Get(0) || v.Get(32767) {
+		t.Error("had 15: low half must be zero")
+	}
+	if !v.Get(32768) || !v.Get(65535) {
+		t.Error("had 15: high half must be one")
+	}
+	if v.Pop() != 32768 {
+		t.Errorf("had 15 pop = %d, want 32768", v.Pop())
+	}
+	v.Had(0)
+	if v.Get(0) || !v.Get(1) || v.Get(65534) || !v.Get(65535) {
+		t.Error("had 0: even channels 0, odd channels 1")
+	}
+}
+
+func TestHadPanicsOutOfRange(t *testing.T) {
+	v := New(4)
+	for _, k := range []int{-1, 4, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Had(%d) on 4-way did not panic", k)
+				}
+			}()
+			v.Had(k)
+		}()
+	}
+}
+
+// TestPaperNextExample is the worked example from Section 2.7: had @123,4
+// then next from channel 42 yields 48.
+func TestPaperNextExample(t *testing.T) {
+	v := HadVector(16, 4)
+	if got := v.Next(42); got != 48 {
+		t.Fatalf("next(42) over had-4 = %d, want 48", got)
+	}
+	if got := v.NextHW(42); got != 48 {
+		t.Fatalf("NextHW(42) over had-4 = %d, want 48", got)
+	}
+}
+
+func TestNextBasics(t *testing.T) {
+	v := New(8)
+	if v.Next(0) != 0 {
+		t.Error("next on empty vector must be 0")
+	}
+	v.Set(0, true)
+	if v.Next(0) != 0 {
+		t.Error("a 1 only at channel 0 is invisible to next(0)")
+	}
+	if !v.Any() {
+		t.Error("Any must still see channel 0 via meas")
+	}
+	v.Set(200, true)
+	if got := v.Next(0); got != 200 {
+		t.Errorf("next(0) = %d, want 200", got)
+	}
+	if got := v.Next(200); got != 0 {
+		t.Errorf("next(200) = %d, want 0 (nothing after)", got)
+	}
+	if got := v.Next(199); got != 200 {
+		t.Errorf("next(199) = %d, want 200", got)
+	}
+	if got := v.Next(255); got != 0 {
+		t.Errorf("next(last) = %d, want 0", got)
+	}
+}
+
+func TestNextWordBoundaries(t *testing.T) {
+	v := New(8)
+	for _, ch := range []uint64{63, 64, 127, 128, 191, 192, 255} {
+		v.Zero()
+		v.Set(ch, true)
+		for s := uint64(0); s < ch; s++ {
+			if got := v.Next(s); got != ch {
+				t.Fatalf("single bit at %d: next(%d) = %d", ch, s, got)
+			}
+		}
+		if got := v.Next(ch); got != 0 {
+			t.Fatalf("single bit at %d: next(%d) = %d, want 0", ch, ch, got)
+		}
+	}
+}
+
+// nextRef is an obviously-correct linear-scan reference for Next.
+func nextRef(v *Vector, s uint64) uint64 {
+	s &= v.Channels() - 1
+	for ch := s + 1; ch < v.Channels(); ch++ {
+		if v.Get(ch) {
+			return ch
+		}
+	}
+	return 0
+}
+
+// TestFig8NextHierarchical cross-validates the architectural Next, the
+// Figure 8 hardware decomposition NextHW, and a linear-scan reference on
+// random vectors across sizes.
+func TestFig8NextHierarchical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, ways := range []int{1, 2, 3, 6, 7, 8, 10, 16} {
+		for trial := 0; trial < 25; trial++ {
+			v := randVector(r, ways)
+			if trial == 0 {
+				v.Zero() // include the all-zero case
+			}
+			for probe := 0; probe < 40; probe++ {
+				s := r.Uint64() & (v.Channels() - 1)
+				want := nextRef(v, s)
+				if got := v.Next(s); got != want {
+					t.Fatalf("ways=%d Next(%d)=%d want %d", ways, s, got, want)
+				}
+				if got := v.NextHW(s); got != want {
+					t.Fatalf("ways=%d NextHW(%d)=%d want %d", ways, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNextHWZeroWays(t *testing.T) {
+	v := New(0)
+	v.Set(0, true)
+	if got := v.NextHW(0); got != 0 {
+		t.Errorf("0-way NextHW = %d, want 0", got)
+	}
+}
+
+func TestPopAfter(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, ways := range []int{1, 4, 6, 8, 12} {
+		v := randVector(r, ways)
+		for probe := 0; probe < 50; probe++ {
+			s := r.Uint64() & (v.Channels() - 1)
+			var want uint64
+			for ch := s + 1; ch < v.Channels(); ch++ {
+				if v.Get(ch) {
+					want++
+				}
+			}
+			if got := v.PopAfter(s); got != want {
+				t.Fatalf("ways=%d PopAfter(%d)=%d want %d", ways, s, got, want)
+			}
+		}
+		// POP = PopAfter(0) + Meas(0), the paper's overflow-safe split.
+		if v.Pop() != v.PopAfter(0)+v.Meas(0) {
+			t.Fatalf("pop split mismatch: %d != %d+%d", v.Pop(), v.PopAfter(0), v.Meas(0))
+		}
+	}
+}
+
+// TestFig3NotGatesSelfInverse: not, cnot and ccnot are each their own
+// inverse (reversibility property from Figure 3).
+func TestFig3NotGatesSelfInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		ways := 1 + r.Intn(10)
+		a := randVector(r, ways)
+		b := randVector(r, ways)
+		c := randVector(r, ways)
+		orig := a.Clone()
+
+		a.Not()
+		a.Not()
+		if !a.Equal(orig) {
+			t.Fatal("not∘not != identity")
+		}
+		a.CNot(b)
+		a.CNot(b)
+		if !a.Equal(orig) {
+			t.Fatal("cnot∘cnot != identity")
+		}
+		a.CCNot(b, c)
+		a.CCNot(b, c)
+		if !a.Equal(orig) {
+			t.Fatal("ccnot∘ccnot != identity")
+		}
+	}
+}
+
+func TestFig3CNotSemantics(t *testing.T) {
+	a, _ := FromString(2, "0110")
+	b, _ := FromString(2, "0011")
+	a.CNot(b)
+	if a.String() != "0101" {
+		t.Errorf("cnot result %s, want 0101", a)
+	}
+	// cnot @a,@a zeroes the register (x^x = 0).
+	a.CNot(a)
+	if a.Any() {
+		t.Error("cnot @a,@a must clear @a")
+	}
+}
+
+func TestFig3CCNotSemantics(t *testing.T) {
+	a, _ := FromString(2, "1111")
+	b, _ := FromString(2, "0011")
+	c, _ := FromString(2, "0101")
+	a.CCNot(b, c) // flips only channel 3 where b&c = 0001... b&c = 0001 at ch3
+	want := "1110"
+	if a.String() != want {
+		t.Errorf("ccnot result %s, want %s", a, want)
+	}
+	if b.String() != "0011" || c.String() != "0101" {
+		t.Error("ccnot must not modify controls")
+	}
+}
+
+// TestFig4SwapGates covers swap/cswap semantics and the "billiard-ball
+// conservancy" property: total population is preserved.
+func TestFig4SwapGates(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		ways := 1 + r.Intn(10)
+		a := randVector(r, ways)
+		b := randVector(r, ways)
+		ctrl := randVector(r, ways)
+		origA, origB := a.Clone(), b.Clone()
+		popBefore := a.Pop() + b.Pop()
+
+		a.Swap(b)
+		if !a.Equal(origB) || !b.Equal(origA) {
+			t.Fatal("swap did not exchange values")
+		}
+		a.Swap(b) // back
+
+		a.CSwap(b, ctrl)
+		if a.Pop()+b.Pop() != popBefore {
+			t.Fatal("cswap violated billiard-ball conservancy")
+		}
+		for ch := uint64(0); ch < a.Channels(); ch++ {
+			if ctrl.Get(ch) {
+				if a.Get(ch) != origB.Get(ch) || b.Get(ch) != origA.Get(ch) {
+					t.Fatalf("cswap: controlled channel %d not swapped", ch)
+				}
+			} else {
+				if a.Get(ch) != origA.Get(ch) || b.Get(ch) != origB.Get(ch) {
+					t.Fatalf("cswap: uncontrolled channel %d changed", ch)
+				}
+			}
+		}
+		// cswap is its own inverse.
+		a.CSwap(b, ctrl)
+		if !a.Equal(origA) || !b.Equal(origB) {
+			t.Fatal("cswap∘cswap != identity")
+		}
+	}
+}
+
+// TestCSwapIsMux checks the paper's observation that cswap generalizes a
+// 1-of-2 multiplexer: after cswap @a,@b,@c, register @a holds b where c=1
+// and a where c=0.
+func TestCSwapIsMux(t *testing.T) {
+	a, _ := FromString(3, "10101010")
+	b, _ := FromString(3, "01100110")
+	c, _ := FromString(3, "00001111")
+	a.CSwap(b, c)
+	if a.String() != "10100110" {
+		t.Errorf("mux result %s, want 10100110", a)
+	}
+}
+
+// TestFig5Measurement: meas is non-destructive — the superposition is
+// unchanged no matter how many times it is sampled, in contrast to quantum
+// measurement collapse.
+func TestFig5Measurement(t *testing.T) {
+	v := HadVector(8, 3)
+	snapshot := v.Clone()
+	for i := 0; i < 1000; i++ {
+		ch := uint64(i * 37 % 256)
+		want := uint64(0)
+		if (ch>>3)&1 == 1 {
+			want = 1
+		}
+		if v.Meas(ch) != want {
+			t.Fatalf("meas(%d) = %d, want %d", ch, v.Meas(ch), want)
+		}
+	}
+	if !v.Equal(snapshot) {
+		t.Fatal("measurement disturbed the superposition")
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	a, _ := FromString(2, "0011")
+	b, _ := FromString(2, "0101")
+	d := New(2)
+	d.And(a, b)
+	if d.String() != "0001" {
+		t.Errorf("and = %s", d)
+	}
+	d.Or(a, b)
+	if d.String() != "0111" {
+		t.Errorf("or = %s", d)
+	}
+	d.Xor(a, b)
+	if d.String() != "0110" {
+		t.Errorf("xor = %s", d)
+	}
+}
+
+func TestLogicOpsAliasing(t *testing.T) {
+	a, _ := FromString(3, "10101010")
+	b, _ := FromString(3, "01100110")
+	// dest aliases an operand, as "and @a,@a,@b" would.
+	a2 := a.Clone()
+	a2.And(a2, b)
+	want := New(3)
+	want.And(a, b)
+	if !a2.Equal(want) {
+		t.Error("aliased And mismatch")
+	}
+}
+
+func TestNotClampsTail(t *testing.T) {
+	// NOT on a small vector must not leak into the unused high bits of the
+	// word; Pop and Next would otherwise see ghost channels.
+	v := New(3)
+	v.Not()
+	if v.Pop() != 8 {
+		t.Fatalf("not of 3-way zero: pop=%d want 8", v.Pop())
+	}
+	if v.Next(7) != 0 {
+		t.Fatal("ghost channel past the end")
+	}
+}
+
+func TestMeasIndexWraps(t *testing.T) {
+	v := New(4) // 16 channels
+	v.Set(3, true)
+	if v.Meas(3+16) != 1 {
+		t.Error("channel index must wrap modulo 2^ways")
+	}
+	if v.Next(19) != 0 { // 19 wraps to 3; nothing after 3
+		t.Error("next index must wrap modulo 2^ways")
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a, b := New(8), New(8)
+		for i := 0; i < 4; i++ {
+			a.SetWord(i, aw[i])
+			b.SetWord(i, bw[i])
+		}
+		// NOT(a AND b) == NOT a OR NOT b
+		lhs := New(8)
+		lhs.And(a, b)
+		lhs.Not()
+		na, nb := a.Clone(), b.Clone()
+		na.Not()
+		nb.Not()
+		rhs := New(8)
+		rhs.Or(na, nb)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorIsAddMod2Property(t *testing.T) {
+	f := func(aw, bw uint64) bool {
+		a, b := New(6), New(6)
+		a.SetWord(0, aw)
+		b.SetWord(0, bw)
+		x := New(6)
+		x.Xor(a, b)
+		for ch := uint64(0); ch < 64; ch++ {
+			if x.Meas(ch) != (a.Meas(ch)+b.Meas(ch))%2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextEnumeratesAllOnes(t *testing.T) {
+	// Looping next (plus meas of channel 0) must enumerate every 1 exactly
+	// once — the paper's read-out-everything usage.
+	r := rand.New(rand.NewSource(9))
+	v := randVector(r, 10)
+	var got []uint64
+	if v.Get(0) {
+		got = append(got, 0)
+	}
+	for ch := v.Next(0); ch != 0; ch = v.Next(ch) {
+		got = append(got, ch)
+	}
+	var want []uint64
+	for ch := uint64(0); ch < v.Channels(); ch++ {
+		if v.Get(ch) {
+			want = append(want, ch)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d ones, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got channel %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAnyAllComposition(t *testing.T) {
+	cases := []struct {
+		bits string
+		any  bool
+		all  bool
+	}{
+		{"0000", false, false},
+		{"1000", true, false},
+		{"0001", true, false},
+		{"1111", true, true},
+		{"0111", true, false},
+	}
+	for _, c := range cases {
+		v, _ := FromString(2, c.bits)
+		if v.Any() != c.any {
+			t.Errorf("%s: Any=%v want %v", c.bits, v.Any(), c.any)
+		}
+		if v.All() != c.all {
+			t.Errorf("%s: All=%v want %v", c.bits, v.All(), c.all)
+		}
+	}
+}
+
+func TestFromStringErrors(t *testing.T) {
+	if _, err := FromString(1, "012"); err == nil {
+		t.Error("want error for invalid character")
+	}
+	if _, err := FromString(1, "0101"); err == nil {
+		t.Error("want error for overlong string")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := HadVector(6, 2)
+	b := a.Clone()
+	b.Not()
+	if a.Equal(b) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestStringLarge(t *testing.T) {
+	v := HadVector(10, 0)
+	s := v.String()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestMismatchedWaysPanics(t *testing.T) {
+	a, b := New(4), New(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("And across ways did not panic")
+		}
+	}()
+	a.And(a, b)
+}
+
+func BenchmarkFig7Had(b *testing.B) {
+	v := New(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Had(i % 16)
+	}
+}
+
+func BenchmarkQatAnd16Way(b *testing.B) {
+	x := HadVector(16, 3)
+	y := HadVector(16, 9)
+	d := New(16)
+	b.SetBytes(int64(d.NumWords() * 8))
+	for i := 0; i < b.N; i++ {
+		d.And(x, y)
+	}
+}
+
+func BenchmarkFig8NextFast(b *testing.B) {
+	v := HadVector(16, 15) // worst half-empty pattern
+	for i := 0; i < b.N; i++ {
+		_ = v.Next(uint64(i) & 32767)
+	}
+}
+
+func BenchmarkFig8NextHW(b *testing.B) {
+	v := HadVector(16, 15)
+	for i := 0; i < b.N; i++ {
+		_ = v.NextHW(uint64(i) & 32767)
+	}
+}
+
+func BenchmarkFig8NextNaiveScan(b *testing.B) {
+	v := HadVector(16, 15)
+	for i := 0; i < b.N; i++ {
+		_ = nextRef(v, uint64(i)&32767)
+	}
+}
+
+func BenchmarkPopAfter(b *testing.B) {
+	v := HadVector(16, 0)
+	for i := 0; i < b.N; i++ {
+		_ = v.PopAfter(uint64(i) & 65535)
+	}
+}

@@ -1,0 +1,77 @@
+package aob
+
+// This file models the paper's Figure 8 hardware implementation of the Qat
+// "next" instruction: a barrel-shifter masking step followed by a recursive
+// count-trailing-zeros decomposition. NextHW computes the identical function
+// to Vector.Next but follows the circuit's structure bit-for-bit, so tests
+// can confirm the hardware decomposition is equivalent to the architectural
+// definition — the same role the Verilog testbenches played in the paper.
+
+// maskedAfter returns a copy of v with channel 0 and channels 1..s cleared,
+// mirroring the Verilog  {((aob[(1<<WAYS)-1:1] >> s) << s), 1'b0}  barrel
+// shifter step: only channels strictly greater than s survive.
+func (v *Vector) maskedAfter(s uint64) *Vector {
+	m := v.Clone()
+	s &= v.chanMask()
+	// Clear channels 0..s inclusive.
+	full := int((s + 1) / wordBits)
+	for i := 0; i < full; i++ {
+		m.words[i] = 0
+	}
+	rem := (s + 1) % wordBits
+	if rem != 0 && full < len(m.words) {
+		m.words[full] &= ^uint64(0) << rem
+	}
+	return m
+}
+
+// anyInRange reports whether any channel in [lo, lo+width) holds a 1.
+// In hardware this is the |t[pow2].v[(1<<pow2)-1:0] OR-reduction.
+func (v *Vector) anyInRange(lo, width uint64) bool {
+	if width >= wordBits && lo%wordBits == 0 {
+		for wi := lo / wordBits; wi < (lo+width)/wordBits; wi++ {
+			if v.words[wi] != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for ch := lo; ch < lo+width; ch++ {
+		if v.Get(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// NextHW computes Next(s) using the Figure 8 recursive decomposition:
+// step 1 masks away channels <= s, step 2 binary-searches for the lowest
+// surviving 1, producing one result bit per level. It returns 0 when no
+// channel past s holds a 1, exactly like the architectural Next.
+func (v *Vector) NextHW(s uint64) uint64 {
+	if v.ways == 0 {
+		// A 0-way vector has a single channel (0); nothing can follow it.
+		return 0
+	}
+	m := v.maskedAfter(s)
+	var r uint64
+	lo := uint64(0)
+	// pow2 walks WAYS-1 down to 0; at each level the live window has
+	// 2^(pow2+1) channels and we keep whichever half holds the answer.
+	for pow2 := v.ways - 1; pow2 >= 0; pow2-- {
+		half := uint64(1) << uint(pow2)
+		if m.anyInRange(lo, half) {
+			// Low half nonzero: result bit is 0, keep low half.
+		} else {
+			// Keep high half; result bit pow2 is 1.
+			r |= uint64(1) << uint(pow2)
+			lo += half
+		}
+	}
+	// The final 1-channel window either holds the located 1 or the vector
+	// was empty past s (the Verilog "t[0].v ? tr : 0" guard).
+	if !m.Get(lo) {
+		return 0
+	}
+	return r
+}

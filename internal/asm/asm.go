@@ -1,0 +1,1092 @@
+// Package asm implements a two-pass assembler and a disassembler for the
+// Tangled/Qat instruction set.
+//
+// The paper's students generated their assemblers with AIK (the Assembler
+// Interpreter from Kentucky); this package is a hand-written equivalent
+// covering the same surface: the Table 1 base instructions, the Table 3 Qat
+// coprocessor instructions, and the Table 2 pseudo-instructions (macros).
+//
+// Syntax, following the paper's listings:
+//
+//	label:  op  operand,operand   ; comment
+//
+// Tangled registers are $0..$10, $at, $rv, $ra, $fp, $sp (numeric aliases
+// $11..$15 accepted); Qat registers are @0..@255. Immediates may be
+// decimal, 0x hex, 0b binary, or a character literal 'c'. The and/or/xor/
+// not mnemonics are shared between Tangled and Qat in the paper's tables;
+// the assembler disambiguates by the operand sigils, exactly as the
+// listings do (compare "and @2,@0,@1" with "and $0,$2").
+//
+// Pseudo-instructions (Table 2):
+//
+//	br lab          unconditional branch: brf $at,lab ; brt $at,lab
+//	jump lab        absolute jump via $at: lex/lhi $at,lab ; jumpr $at
+//	jumpf $c,lab    brt $c,+skip ; jump lab
+//	jumpt $c,lab    brf $c,+skip ; jump lab
+//	loadi $d,imm16  lex $d,low ; lhi $d,high (single lex when it suffices)
+//
+// Section 5 of the paper concludes that the reversible Qat instructions
+// (cnot, ccnot, swap, cswap) "easily could be implemented as assembler
+// macros" over the irreversible base set, freeing the register file's
+// third read port and second write port. Those macros are provided with an
+// m prefix, using @255 as a designated Qat assembler temporary (the AoB
+// analog of $at):
+//
+//	mcnot @a,@b       xor @a,@a,@b
+//	mccnot @a,@b,@c   and @255,@b,@c ; xor @a,@a,@255
+//	mswap @a,@b       xor-swap triple (no temporary)
+//	mcswap @a,@b,@c   masked xor-swap via @255
+//
+// Directives: ".word expr" emits a literal word, ".space n" emits n zero
+// words, ".ascii "text"" emits one word per character (with \n, \t, \0 and
+// \\ escapes), and ".equ name value" defines an assembly-time constant
+// usable wherever an immediate or address is expected.
+//
+// User-defined macros — the signature capability of the AIK tool the class
+// used — are written as
+//
+//	.macro name p1 p2 ...
+//	  op \p1,\p2
+//	  ...
+//	.endm
+//
+// and invoked like instructions: "name $1,@2". Parameters substitute
+// textually (backslash-prefixed), macros may invoke other macros (depth
+// limited to catch recursion), and each expansion's labels are made unique
+// by rewriting a trailing "$" in label-like identifiers (write "loop$:"
+// inside a macro body for a per-expansion local label).
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tangled/internal/isa"
+)
+
+// Program is the output of assembly: a flat word image plus metadata.
+type Program struct {
+	// Words is the binary image, loaded at address 0.
+	Words []uint16
+	// Symbols maps labels to word addresses.
+	Symbols map[string]uint16
+	// Source maps each word address to the 1-based source line that
+	// produced it (0 when none, e.g. .space padding).
+	Source []int
+}
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList collects all diagnostics from one assembly run.
+type ErrorList []Error
+
+func (el ErrorList) Error() string {
+	if len(el) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, len(el))
+	for i, e := range el {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// refKind says how a pending label reference patches its instruction.
+type refKind uint8
+
+const (
+	refNone   refKind = iota
+	refBranch         // signed word offset from the following instruction
+	refLow            // low 8 bits of the absolute address (for lex)
+	refHigh           // high 8 bits of the absolute address (for lhi)
+	refWord           // full address as a data word (.word lab)
+	refImm8           // 8-bit immediate from a .equ constant (lex/lhi)
+)
+
+// item is one concrete output unit after macro expansion.
+type item struct {
+	line int
+	addr uint16
+	inst isa.Inst
+	ref  string
+	kind refKind
+	// raw data word (when isData)
+	isData bool
+	data   uint16
+}
+
+// macroDef is one user-defined macro.
+type macroDef struct {
+	params []string
+	body   []string
+}
+
+type assembler struct {
+	items  []item
+	labels map[string]uint16
+	consts map[string]int64
+	macros map[string]*macroDef
+	enc    isa.Encoding
+	errs   ErrorList
+	pc     uint16
+	line   int
+
+	// defining is non-nil while between .macro and .endm.
+	defining     *macroDef
+	definingName string
+	// expandDepth guards against recursive macros; expandID uniquifies
+	// local labels per expansion.
+	expandDepth int
+	expandID    int
+}
+
+// maxMacroDepth bounds nested macro expansion.
+const maxMacroDepth = 16
+
+// Assemble translates source text into a Program using the Primary binary
+// encoding. On failure it returns an ErrorList describing every diagnosed
+// problem.
+func Assemble(src string) (*Program, error) {
+	return AssembleWith(src, isa.Primary)
+}
+
+// AssembleWith assembles for an explicit binary encoding — instruction
+// lengths are encoding-independent in both provided codecs, so label
+// arithmetic is unaffected.
+func AssembleWith(src string, enc isa.Encoding) (*Program, error) {
+	a := &assembler{
+		labels: make(map[string]uint16),
+		consts: make(map[string]int64),
+		macros: make(map[string]*macroDef),
+		enc:    enc,
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		a.doLine(raw)
+	}
+	if a.defining != nil {
+		a.errorf("unterminated .macro %q", a.definingName)
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	// Pass 2: resolve references and encode.
+	p := &Program{Symbols: a.labels}
+	for _, it := range a.items {
+		words, err := a.resolve(it)
+		if err != nil {
+			a.errs = append(a.errs, Error{it.line, err.Error()})
+			continue
+		}
+		for _, w := range words {
+			p.Words = append(p.Words, w)
+			p.Source = append(p.Source, it.line)
+		}
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	return p, nil
+}
+
+func (a *assembler) errorf(format string, args ...interface{}) {
+	a.errs = append(a.errs, Error{a.line, fmt.Sprintf(format, args...)})
+}
+
+// doLine handles labels, directives and (macro-)instructions on one line.
+func (a *assembler) doLine(raw string) {
+	s := strings.TrimSpace(stripComment(raw))
+	if a.defining != nil {
+		// Collecting a macro body: only .endm is interpreted.
+		if strings.EqualFold(s, ".endm") {
+			a.macros[a.definingName] = a.defining
+			a.defining = nil
+			return
+		}
+		a.defining.body = append(a.defining.body, s)
+		return
+	}
+	for {
+		colon := strings.IndexByte(s, ':')
+		if colon < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:colon])
+		if !isIdent(label) {
+			// Not a label (e.g. a ':' inside a character literal); treat
+			// the whole text as a statement.
+			break
+		}
+		if _, dup := a.labels[label]; dup {
+			a.errorf("duplicate label %q", label)
+			return
+		}
+		if _, dup := a.consts[label]; dup {
+			a.errorf("label %q collides with a .equ constant", label)
+			return
+		}
+		a.labels[label] = a.pc
+		s = strings.TrimSpace(s[colon+1:])
+	}
+	if s == "" {
+		return
+	}
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	if mnemonic == ".ascii" {
+		// String literals may contain commas; keep the rest intact.
+		a.doStatement(mnemonic, []string{rest})
+		return
+	}
+	var operands []string
+	if rest != "" {
+		for _, op := range strings.Split(rest, ",") {
+			operands = append(operands, strings.TrimSpace(op))
+		}
+	}
+	a.doStatement(mnemonic, operands)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// emit appends a concrete instruction, advancing the location counter.
+func (a *assembler) emit(inst isa.Inst, ref string, kind refKind) {
+	it := item{line: a.line, addr: a.pc, inst: inst, ref: ref, kind: kind}
+	a.items = append(a.items, it)
+	a.pc += uint16(inst.Words())
+}
+
+func (a *assembler) emitData(w uint16, ref string) {
+	kind := refNone
+	if ref != "" {
+		kind = refWord
+	}
+	a.items = append(a.items, item{line: a.line, addr: a.pc, isData: true, data: w, ref: ref, kind: kind})
+	a.pc++
+}
+
+func (a *assembler) doStatement(mnemonic string, ops []string) {
+	switch mnemonic {
+	case ".equ":
+		// Accept both ".equ NAME VALUE" and ".equ NAME,VALUE".
+		if len(ops) == 1 {
+			ops = strings.Fields(ops[0])
+		}
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		name := ops[0]
+		if !isIdent(name) || isNumber(name) {
+			a.errorf(".equ: invalid name %q", name)
+			return
+		}
+		if _, dup := a.consts[name]; dup {
+			a.errorf(".equ: redefinition of %q", name)
+			return
+		}
+		if _, dup := a.labels[name]; dup {
+			a.errorf(".equ: %q collides with a label", name)
+			return
+		}
+		v, err := parseImm(ops[1], 16)
+		if err != nil {
+			a.errorf(".equ %s: %v", name, err)
+			return
+		}
+		a.consts[name] = v
+	case ".ascii":
+		if !a.wantOps(mnemonic, ops, 1) {
+			return
+		}
+		text, err := parseStringLit(ops[0])
+		if err != nil {
+			a.errorf(".ascii: %v", err)
+			return
+		}
+		for _, ch := range text {
+			a.emitData(uint16(ch), "")
+		}
+	case ".word":
+		if len(ops) != 1 {
+			a.errorf(".word wants one operand")
+			return
+		}
+		if isIdent(ops[0]) && !isNumber(ops[0]) {
+			a.emitData(0, ops[0])
+			return
+		}
+		v, err := parseImm(ops[0], 16)
+		if err != nil {
+			a.errorf(".word: %v", err)
+			return
+		}
+		a.emitData(uint16(v), "")
+	case ".space":
+		if len(ops) != 1 {
+			a.errorf(".space wants one operand")
+			return
+		}
+		var n int64
+		var err error
+		if v, ok := a.consts[ops[0]]; ok {
+			// .space sizes affect addresses, so a constant must already be
+			// defined at this point in the source.
+			n = v
+		} else {
+			n, err = parseImm(ops[0], 16)
+		}
+		if err != nil || n < 0 {
+			a.errorf(".space: bad size %q", ops[0])
+			return
+		}
+		for i := int64(0); i < n; i++ {
+			a.emitData(0, "")
+		}
+	case "br":
+		if !a.wantOps(mnemonic, ops, 1) {
+			return
+		}
+		// Unconditional branch from two complementary conditionals on $at:
+		// whatever $at holds, one of them fires.
+		a.emit(isa.Inst{Op: isa.OpBrf, RD: isa.RegAT}, ops[0], refBranch)
+		a.emit(isa.Inst{Op: isa.OpBrt, RD: isa.RegAT}, ops[0], refBranch)
+	case "jump":
+		if !a.wantOps(mnemonic, ops, 1) {
+			return
+		}
+		a.expandJump(ops[0])
+	case "jumpf", "jumpt":
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		c, err := parseReg(ops[0])
+		if err != nil {
+			a.errorf("%s: %v", mnemonic, err)
+			return
+		}
+		// Skip over the 3-word jump expansion when the condition does not
+		// call for it.
+		inv := isa.OpBrt
+		if mnemonic == "jumpt" {
+			inv = isa.OpBrf
+		}
+		a.emit(isa.Inst{Op: inv, RD: c, Imm: 3}, "", refNone)
+		a.expandJump(ops[1])
+	case ".macro":
+		if len(ops) == 1 {
+			ops = strings.Fields(ops[0])
+		}
+		if len(ops) < 1 {
+			a.errorf(".macro wants a name")
+			return
+		}
+		name := strings.ToLower(ops[0])
+		if !isIdent(name) || isNumber(name) {
+			a.errorf(".macro: invalid name %q", name)
+			return
+		}
+		if _, builtin := mnemonicOp(name, nil); builtin || name == "br" || name == "jump" ||
+			name == "jumpf" || name == "jumpt" || name == "loadi" {
+			a.errorf(".macro: %q shadows a built-in mnemonic", name)
+			return
+		}
+		if _, dup := a.macros[name]; dup {
+			a.errorf(".macro: redefinition of %q", name)
+			return
+		}
+		a.defining = &macroDef{params: ops[1:]}
+		a.definingName = name
+	case ".endm":
+		a.errorf(".endm without .macro")
+	case "mcnot", "mccnot", "mswap", "mcswap":
+		a.doQatMacro(mnemonic, ops)
+	case "loadi":
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			a.errorf("loadi: %v", err)
+			return
+		}
+		if isIdent(ops[1]) && !isNumber(ops[1]) {
+			a.emit(isa.Inst{Op: isa.OpLex, RD: d}, ops[1], refLow)
+			a.emit(isa.Inst{Op: isa.OpLhi, RD: d}, ops[1], refHigh)
+			return
+		}
+		v, err := parseImm(ops[1], 16)
+		if err != nil {
+			a.errorf("loadi: %v", err)
+			return
+		}
+		if v >= -128 && v <= 127 {
+			a.emit(isa.Inst{Op: isa.OpLex, RD: d, Imm: int8(v)}, "", refNone)
+			return
+		}
+		a.emit(isa.Inst{Op: isa.OpLex, RD: d, Imm: int8(uint16(v) & 0xFF)}, "", refNone)
+		a.emit(isa.Inst{Op: isa.OpLhi, RD: d, Imm: int8(uint16(v) >> 8)}, "", refNone)
+	default:
+		if def, ok := a.macros[mnemonic]; ok {
+			a.expandMacro(mnemonic, def, ops)
+			return
+		}
+		a.doInstruction(mnemonic, ops)
+	}
+}
+
+// expandMacro substitutes arguments and local labels, then re-feeds each
+// body line through the normal line path.
+func (a *assembler) expandMacro(name string, def *macroDef, args []string) {
+	if len(args) != len(def.params) {
+		a.errorf("macro %s wants %d argument(s), got %d", name, len(def.params), len(args))
+		return
+	}
+	if a.expandDepth >= maxMacroDepth {
+		a.errorf("macro %s: expansion too deep (recursive?)", name)
+		return
+	}
+	a.expandDepth++
+	a.expandID++
+	id := a.expandID
+	// Longest parameter names first so \count is not clobbered by \c.
+	order := make([]int, len(def.params))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return len(def.params[order[x]]) > len(def.params[order[y]])
+	})
+	for _, line := range def.body {
+		text := line
+		for _, pi := range order {
+			text = strings.ReplaceAll(text, "\\"+def.params[pi], args[pi])
+		}
+		text = uniquifyLocals(text, id)
+		a.doLine(text)
+	}
+	a.expandDepth--
+}
+
+// uniquifyLocals rewrites identifier-trailing '$' markers (per-expansion
+// local labels) into a unique suffix. Register sigils are untouched: their
+// '$' is never preceded by an identifier character.
+func uniquifyLocals(s string, id int) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '$' && i > 0 && isIdentChar(s[i-1]) {
+			fmt.Fprintf(&b, "__m%d", id)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+// QatAT is the Qat register reserved as the macro scratch temporary.
+const QatAT = 255
+
+// doQatMacro expands the Section 5 reversible-operation macros over the
+// irreversible base instructions.
+func (a *assembler) doQatMacro(mnemonic string, ops []string) {
+	want := 2
+	if mnemonic == "mccnot" || mnemonic == "mcswap" {
+		want = 3
+	}
+	if !a.wantOps(mnemonic, ops, want) {
+		return
+	}
+	regs := make([]uint8, len(ops))
+	for i, op := range ops {
+		r, err := parseQReg(op)
+		if err != nil {
+			a.errorf("%s: %v", mnemonic, err)
+			return
+		}
+		if r == QatAT {
+			a.errorf("%s: @%d is reserved as the Qat macro temporary", mnemonic, QatAT)
+			return
+		}
+		regs[i] = r
+	}
+	qxor := func(d, s1, s2 uint8) {
+		a.emit(isa.Inst{Op: isa.OpQXor, QA: d, QB: s1, QC: s2}, "", refNone)
+	}
+	qand := func(d, s1, s2 uint8) {
+		a.emit(isa.Inst{Op: isa.OpQAnd, QA: d, QB: s1, QC: s2}, "", refNone)
+	}
+	switch mnemonic {
+	case "mcnot": // @a ^= @b
+		qxor(regs[0], regs[0], regs[1])
+	case "mccnot": // @a ^= @b & @c
+		qand(QatAT, regs[1], regs[2])
+		qxor(regs[0], regs[0], QatAT)
+	case "mswap": // xor-swap; degenerates safely when @a == @b
+		if regs[0] == regs[1] {
+			return
+		}
+		qxor(regs[0], regs[0], regs[1])
+		qxor(regs[1], regs[0], regs[1])
+		qxor(regs[0], regs[0], regs[1])
+	case "mcswap": // exchange where @c is 1, via masked difference
+		if regs[0] == regs[1] {
+			return
+		}
+		qxor(QatAT, regs[0], regs[1])
+		qand(QatAT, QatAT, regs[2])
+		qxor(regs[0], regs[0], QatAT)
+		qxor(regs[1], regs[1], QatAT)
+	}
+}
+
+func (a *assembler) expandJump(target string) {
+	a.emit(isa.Inst{Op: isa.OpLex, RD: isa.RegAT}, target, refLow)
+	a.emit(isa.Inst{Op: isa.OpLhi, RD: isa.RegAT}, target, refHigh)
+	a.emit(isa.Inst{Op: isa.OpJumpr, RD: isa.RegAT}, "", refNone)
+}
+
+func (a *assembler) wantOps(mnemonic string, ops []string, n int) bool {
+	if len(ops) != n {
+		a.errorf("%s wants %d operand(s), got %d", mnemonic, n, len(ops))
+		return false
+	}
+	return true
+}
+
+// mnemonicOp resolves a mnemonic (with operand-sigil disambiguation for the
+// shared and/or/xor/not names) to an Op.
+func mnemonicOp(mnemonic string, ops []string) (isa.Op, bool) {
+	qat := len(ops) > 0 && strings.HasPrefix(ops[0], "@")
+	switch mnemonic {
+	case "and":
+		if qat {
+			return isa.OpQAnd, true
+		}
+		return isa.OpAnd, true
+	case "or":
+		if qat {
+			return isa.OpQOr, true
+		}
+		return isa.OpOr, true
+	case "xor":
+		if qat {
+			return isa.OpQXor, true
+		}
+		return isa.OpXor, true
+	case "not":
+		if qat {
+			return isa.OpQNot, true
+		}
+		return isa.OpNot, true
+	case "qand":
+		return isa.OpQAnd, true
+	case "qor":
+		return isa.OpQOr, true
+	case "qxor":
+		return isa.OpQXor, true
+	case "qnot":
+		return isa.OpQNot, true
+	case "add":
+		return isa.OpAdd, true
+	case "addf":
+		return isa.OpAddf, true
+	case "brf":
+		return isa.OpBrf, true
+	case "brt":
+		return isa.OpBrt, true
+	case "copy":
+		return isa.OpCopy, true
+	case "float":
+		return isa.OpFloat, true
+	case "int":
+		return isa.OpInt, true
+	case "jumpr":
+		return isa.OpJumpr, true
+	case "lex":
+		return isa.OpLex, true
+	case "lhi":
+		return isa.OpLhi, true
+	case "load":
+		return isa.OpLoad, true
+	case "mul":
+		return isa.OpMul, true
+	case "mulf":
+		return isa.OpMulf, true
+	case "neg":
+		return isa.OpNeg, true
+	case "negf":
+		return isa.OpNegf, true
+	case "recip":
+		return isa.OpRecip, true
+	case "shift":
+		return isa.OpShift, true
+	case "slt":
+		return isa.OpSlt, true
+	case "store":
+		return isa.OpStore, true
+	case "sys":
+		return isa.OpSys, true
+	case "zero":
+		return isa.OpQZero, true
+	case "one":
+		return isa.OpQOne, true
+	case "had":
+		return isa.OpQHad, true
+	case "meas":
+		return isa.OpQMeas, true
+	case "next":
+		return isa.OpQNext, true
+	case "pop":
+		return isa.OpQPop, true
+	case "cnot":
+		return isa.OpQCnot, true
+	case "ccnot":
+		return isa.OpQCcnot, true
+	case "swap":
+		return isa.OpQSwap, true
+	case "cswap":
+		return isa.OpQCswap, true
+	}
+	return 0, false
+}
+
+func (a *assembler) doInstruction(mnemonic string, ops []string) {
+	op, ok := mnemonicOp(mnemonic, ops)
+	if !ok {
+		a.errorf("unknown mnemonic %q", mnemonic)
+		return
+	}
+	inst := isa.Inst{Op: op}
+	var ref string
+	kind := refNone
+	fail := func(err error) { a.errorf("%s: %v", mnemonic, err) }
+	switch op.Fmt() {
+	case isa.FmtRR:
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		s, err := parseReg(ops[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.RD, inst.RS = d, s
+	case isa.FmtR:
+		if !a.wantOps(mnemonic, ops, 1) {
+			return
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.RD = d
+	case isa.FmtRI:
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.RD = d
+		if isIdent(ops[1]) && !isNumber(ops[1]) {
+			ref, kind = ops[1], refImm8
+			break
+		}
+		v, err := parseImm(ops[1], 8)
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.Imm = int8(v)
+	case isa.FmtBr:
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		c, err := parseReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.RD = c
+		if isIdent(ops[1]) && !isNumber(ops[1]) {
+			ref, kind = ops[1], refBranch
+		} else {
+			v, err := parseImm(ops[1], 8)
+			if err != nil {
+				fail(err)
+				return
+			}
+			inst.Imm = int8(v)
+		}
+	case isa.FmtNone:
+		if !a.wantOps(mnemonic, ops, 0) {
+			return
+		}
+	case isa.FmtQ1:
+		if !a.wantOps(mnemonic, ops, 1) {
+			return
+		}
+		qa, err := parseQReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.QA = qa
+	case isa.FmtQHad:
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		qa, err := parseQReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		k, err := parseImm(ops[1], 8)
+		if err != nil || k < 0 || k > 15 {
+			fail(fmt.Errorf("bad hadamard index %q", ops[1]))
+			return
+		}
+		inst.QA, inst.K = qa, uint8(k)
+	case isa.FmtQMeas:
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		qa, err := parseQReg(ops[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.RD, inst.QA = d, qa
+	case isa.FmtQ2:
+		if !a.wantOps(mnemonic, ops, 2) {
+			return
+		}
+		qa, err := parseQReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		qb, err := parseQReg(ops[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.QA, inst.QB = qa, qb
+	case isa.FmtQ3:
+		if !a.wantOps(mnemonic, ops, 3) {
+			return
+		}
+		qa, err := parseQReg(ops[0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		qb, err := parseQReg(ops[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		qc, err := parseQReg(ops[2])
+		if err != nil {
+			fail(err)
+			return
+		}
+		inst.QA, inst.QB, inst.QC = qa, qb, qc
+	}
+	a.emit(inst, ref, kind)
+}
+
+// resolve patches label references and encodes one item to words.
+func (a *assembler) resolve(it item) ([]uint16, error) {
+	if it.isData {
+		w := it.data
+		if it.kind == refWord {
+			v, err := a.symbolValue(it.ref)
+			if err != nil {
+				return nil, err
+			}
+			w = uint16(v)
+		}
+		return []uint16{w}, nil
+	}
+	inst := it.inst
+	if it.kind != refNone {
+		if it.kind == refImm8 {
+			v, ok := a.consts[it.ref]
+			if !ok {
+				return nil, fmt.Errorf("undefined constant %q", it.ref)
+			}
+			if v < -128 || v > 255 {
+				return nil, fmt.Errorf("constant %q = %d does not fit in 8 bits", it.ref, v)
+			}
+			inst.Imm = int8(uint16(v) & 0xFF)
+			return a.enc.Encode(inst)
+		}
+		v, err := a.symbolValue(it.ref)
+		if err != nil {
+			return nil, err
+		}
+		switch it.kind {
+		case refBranch:
+			off := int32(v) - int32(it.addr) - 1
+			if _, isConst := a.consts[it.ref]; isConst {
+				// A constant branch operand is a literal offset, not a
+				// target address.
+				off = int32(int16(v))
+			}
+			if off < -128 || off > 127 {
+				return nil, fmt.Errorf("branch to %q out of range (%d words); use jump", it.ref, off)
+			}
+			inst.Imm = int8(off)
+		case refLow:
+			inst.Imm = int8(v & 0xFF)
+		case refHigh:
+			inst.Imm = int8(v >> 8)
+		}
+	}
+	return a.enc.Encode(inst)
+}
+
+// symbolValue resolves a symbol: labels first, then .equ constants.
+func (a *assembler) symbolValue(name string) (uint16, error) {
+	if addr, ok := a.labels[name]; ok {
+		return addr, nil
+	}
+	if v, ok := a.consts[name]; ok {
+		return uint16(v), nil
+	}
+	return 0, fmt.Errorf("undefined label or constant %q", name)
+}
+
+// stripComment removes a ';' comment, ignoring semicolons inside quoted
+// string or character literals.
+func stripComment(s string) string {
+	var inStr, inChar, esc bool
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\' && (inStr || inChar):
+			esc = true
+		case c == '"' && !inChar:
+			inStr = !inStr
+		case c == '\'' && !inStr:
+			inChar = !inChar
+		case c == ';' && !inStr && !inChar:
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseStringLit parses a double-quoted string with \n, \t, \0, \\ and \"
+// escapes.
+func parseStringLit(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+var numberPrefixes = []string{"0x", "0X", "0b", "0B", "-", "+"}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return true
+	}
+	for _, p := range numberPrefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseImm parses an immediate literal of the given bit width; both signed
+// and unsigned spellings of the same bit pattern are accepted (e.g. for 8
+// bits, -1 and 255 both encode 0xFF).
+func parseImm(s string, bits int) (int64, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		if len(body) == 2 && body[0] == '\\' {
+			switch body[1] {
+			case 'n':
+				return '\n', nil
+			case 't':
+				return '\t', nil
+			case '0':
+				return 0, nil
+			case '\\':
+				return '\\', nil
+			}
+		}
+		return 0, fmt.Errorf("bad character literal %s", s)
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	lo := int64(-1) << uint(bits-1)
+	hi := int64(1)<<uint(bits) - 1
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("immediate %d does not fit in %d bits", v, bits)
+	}
+	return v, nil
+}
+
+// parseReg parses a Tangled register: $0..$15 or a symbolic name.
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected Tangled register, got %q", s)
+	}
+	switch strings.ToLower(s) {
+	case "$at":
+		return isa.RegAT, nil
+	case "$rv":
+		return isa.RegRV, nil
+	case "$ra":
+		return isa.RegRA, nil
+	case "$fp":
+		return isa.RegFP, nil
+	case "$sp":
+		return isa.RegSP, nil
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 8)
+	if err != nil || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseQReg parses a Qat register @0..@255.
+func parseQReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "@") {
+		return 0, fmt.Errorf("expected Qat register, got %q", s)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 16)
+	if err != nil || n >= isa.NumQRegs {
+		return 0, fmt.Errorf("bad Qat register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// Disassemble renders a Primary-encoded word image back to assembly, one
+// string per instruction (or per data word it cannot decode, rendered as
+// .word).
+func Disassemble(words []uint16) []string { return DisassembleWith(words, isa.Primary) }
+
+// DisassembleWith disassembles under an explicit encoding.
+func DisassembleWith(words []uint16, enc isa.Encoding) []string {
+	var out []string
+	for i := 0; i < len(words); {
+		var w1 uint16
+		if i+1 < len(words) {
+			w1 = words[i+1]
+		}
+		inst, n, err := enc.Decode(words[i], w1)
+		if err != nil || i+n > len(words) {
+			out = append(out, fmt.Sprintf(".word %#04x", words[i]))
+			i++
+			continue
+		}
+		out = append(out, inst.String())
+		i += n
+	}
+	return out
+}
+
+// SymbolsByAddr returns label names sorted by address, for listings.
+func (p *Program) SymbolsByAddr() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.Symbols[names[i]] != p.Symbols[names[j]] {
+			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,41 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"tangled/internal/asm"
+)
+
+// Assemble the paper's Section 2.7 worked example and disassemble the
+// image back.
+func ExampleAssemble() {
+	p, err := asm.Assemble(`
+	had @123,4
+	lex $8,42
+	next $8,@123   ; leaves 48 in $8
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, line := range asm.Disassemble(p.Words) {
+		fmt.Println(line)
+	}
+	// Output:
+	// had @123,4
+	// lex $8,42
+	// next $8,@123
+}
+
+// Table 2 macros expand to base instructions transparently.
+func ExampleAssemble_macros() {
+	p, _ := asm.Assemble("jump end\nend: sys\n")
+	for _, line := range asm.Disassemble(p.Words) {
+		fmt.Println(line)
+	}
+	// Output:
+	// lex $at,3
+	// lhi $at,0
+	// jumpr $at
+	// sys
+}

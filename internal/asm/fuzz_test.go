@@ -1,0 +1,37 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble: arbitrary source must produce a program or a diagnostic,
+// never a panic; successful assemblies must disassemble and reassemble to
+// the identical image (modulo data words, which disassemble as .word).
+func FuzzAssemble(f *testing.F) {
+	f.Add("add $1,$2\n")
+	f.Add("lab: br lab\n")
+	f.Add(".equ X 4\nlex $1,X\n.word X\n")
+	f.Add("and @1,@2,@3\nnext $0,@80\n")
+	f.Add(`.ascii "hi"` + "\n")
+	f.Add("loadi $3,0xABCD\njumpf $1,done\ndone: sys\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		dis := Disassemble(p.Words)
+		p2, err := Assemble(strings.Join(dis, "\n"))
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%v", err, dis)
+		}
+		if len(p2.Words) != len(p.Words) {
+			t.Fatalf("round trip length %d != %d", len(p2.Words), len(p.Words))
+		}
+		for i := range p.Words {
+			if p.Words[i] != p2.Words[i] {
+				t.Fatalf("round trip word %d: %04x != %04x", i, p2.Words[i], p.Words[i])
+			}
+		}
+	})
+}

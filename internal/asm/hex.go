@@ -1,0 +1,47 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteHex emits a word image in the Verilog $readmemh-compatible format
+// the course toolflow used: one four-digit hex word per line, '//'
+// comments allowed.
+func WriteHex(w io.Writer, words []uint16) error {
+	bw := bufio.NewWriter(w)
+	for _, word := range words {
+		if _, err := fmt.Fprintf(bw, "%04x\n", word); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHex parses a $readmemh-style word image: whitespace-separated hex
+// words, with '//' line comments.
+func ReadHex(r io.Reader) ([]uint16, error) {
+	var words []uint16
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.Index(text, "//"); i >= 0 {
+			text = text[:i]
+		}
+		for _, tok := range strings.Fields(text) {
+			var w uint16
+			if _, err := fmt.Sscanf(tok, "%x", &w); err != nil || len(tok) > 4 {
+				return nil, fmt.Errorf("asm: line %d: bad hex word %q", line, tok)
+			}
+			words = append(words, w)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return words, nil
+}

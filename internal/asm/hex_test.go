@@ -1,0 +1,59 @@
+package asm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHexRoundTrip(t *testing.T) {
+	words := []uint16{0x0000, 0xFFFF, 0x1234, 0xA0B1}
+	var buf bytes.Buffer
+	if err := WriteHex(&buf, words); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(words) {
+		t.Fatalf("got %d words", len(got))
+	}
+	for i := range words {
+		if got[i] != words[i] {
+			t.Errorf("word %d: %04x != %04x", i, got[i], words[i])
+		}
+	}
+}
+
+func TestReadHexComments(t *testing.T) {
+	src := "// header comment\n1234 abcd // trailing\n\n00ff\n"
+	words, err := ReadHex(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{0x1234, 0xABCD, 0x00FF}
+	if len(words) != len(want) {
+		t.Fatalf("words: %v", words)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Errorf("word %d = %04x", i, words[i])
+		}
+	}
+}
+
+func TestReadHexErrors(t *testing.T) {
+	for _, src := range []string{"zzzz\n", "12345\n", "12 potato\n"} {
+		if _, err := ReadHex(strings.NewReader(src)); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestReadHexEmpty(t *testing.T) {
+	words, err := ReadHex(strings.NewReader("// nothing\n"))
+	if err != nil || len(words) != 0 {
+		t.Errorf("empty image: %v %v", words, err)
+	}
+}

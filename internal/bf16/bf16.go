@@ -1,0 +1,423 @@
+// Package bf16 is a bit-level bfloat16 arithmetic library mirroring the
+// Verilog floating-point library used by the Tangled processor (Dietz, ICPP
+// Workshops 2021). Tangled adopts bfloat16 because a 16-bit value becomes a
+// standard IEEE-754 float32 by catenating sixteen zero bits, and because all
+// the basic operations fit in a single FPGA pipeline stage.
+//
+// All operations are implemented with integer bit manipulation — the same
+// alignment/normalization/round-to-nearest-even datapaths a hardware ALU
+// uses — rather than by deferring to the host FPU; the float32 round trip is
+// provided only for interop and is used by the tests as an independent
+// reference.
+package bf16
+
+import "math"
+
+// Float is a bfloat16 value: 1 sign bit, 8 exponent bits (bias 127), and 7
+// fraction bits — exactly the top half of an IEEE-754 float32.
+type Float uint16
+
+// Interesting constants, by bit pattern.
+const (
+	PosZero Float = 0x0000
+	NegZero Float = 0x8000
+	One     Float = 0x3F80
+	NegOne  Float = 0xBF80
+	PosInf  Float = 0x7F80
+	NegInf  Float = 0xFF80
+	NaN     Float = 0x7FC0 // canonical quiet NaN
+)
+
+const (
+	signMask = 0x8000
+	expMask  = 0x7F80
+	fracMask = 0x007F
+	expBias  = 127
+	expMax   = 0xFF
+)
+
+// IsNaN reports whether f is any NaN encoding.
+func (f Float) IsNaN() bool {
+	return f&expMask == expMask && f&fracMask != 0
+}
+
+// IsInf reports whether f is +Inf or -Inf.
+func (f Float) IsInf() bool {
+	return f&expMask == expMask && f&fracMask == 0
+}
+
+// IsZero reports whether f is +0 or -0.
+func (f Float) IsZero() bool { return f&^signMask == 0 }
+
+// Sign returns 1 if the sign bit is set, else 0.
+func (f Float) Sign() uint16 {
+	return uint16(f) >> 15
+}
+
+// Neg implements the Tangled "negf" instruction: flip the sign bit. Like
+// hardware, it negates even NaN and zero encodings.
+func (f Float) Neg() Float { return f ^ signMask }
+
+// Abs clears the sign bit.
+func (f Float) Abs() Float { return f &^ signMask }
+
+// Float32 widens f to float32 exactly (catenate 16 zero bits, as the paper
+// describes).
+func (f Float) Float32() float32 {
+	return math.Float32frombits(uint32(f) << 16)
+}
+
+// Float64 widens f exactly to float64.
+func (f Float) Float64() float64 { return float64(f.Float32()) }
+
+// FromFloat32 rounds a float32 to the nearest bfloat16, ties to even.
+// NaNs are canonicalized (quiet bit forced) so a payload is never silently
+// truncated to an infinity encoding.
+func FromFloat32(x float32) Float {
+	b := math.Float32bits(x)
+	if b&0x7FFFFFFF > 0x7F800000 { // NaN
+		return Float(b>>16) | 0x0040
+	}
+	// Round to nearest even on bit 16.
+	lsb := (b >> 16) & 1
+	b += 0x7FFF + lsb
+	return Float(b >> 16)
+}
+
+// unpack splits f into sign, unbiased-ish fields: exp is the raw biased
+// exponent and sig the 8-bit significand with the implicit leading 1 made
+// explicit for normals. Subnormals keep exp = 0 and no implicit bit.
+func unpack(f Float) (sign uint16, exp int32, sig uint32) {
+	sign = uint16(f) & signMask
+	exp = int32(f>>7) & 0xFF
+	sig = uint32(f) & fracMask
+	if exp != 0 {
+		sig |= 0x80
+	}
+	return
+}
+
+// roundPack assembles the nearest bfloat16 for the exact value
+// (-1)^sign * sig * 2^(exp), where exp is the weight of sig's bit 0 relative
+// to a biased-exponent/fraction pair such that a normal number 1.f*2^E has
+// sig = 0x80|f and exp = E - 7 + bias... Concretely: callers present sig as
+// an arbitrary-width integer and exp such that value = sig * 2^(exp-bias-7)
+// in real terms is NOT the contract; instead exp is pre-biased: a normal
+// result with 8-bit significand s (0x80..0xFF) and biased exponent be is
+// represented by sig = s, exp = be. roundPack first normalizes sig to the
+// 8-bit window (adjusting exp), then applies RNE including subnormal and
+// overflow handling. sticky records nonzero bits already discarded below
+// sig's LSB.
+func roundPack(sign uint16, sig uint32, exp int32, sticky bool) Float {
+	if sig == 0 {
+		if sticky {
+			// Magnitude entirely below sig's LSB: underflow toward zero.
+			return Float(sign)
+		}
+		return Float(sign)
+	}
+	// Normalize so the leading 1 of sig sits at bit 10: 8 significand bits
+	// plus 3 guard/round/sticky bits.
+	for sig >= 1<<11 {
+		if sig&1 != 0 {
+			sticky = true
+		}
+		sig >>= 1
+		exp++
+	}
+	for sig < 1<<10 {
+		sig <<= 1
+		exp--
+	}
+	// Here value = (sig/2^10) * 2^(exp-bias) in the 1.x sense when exp is
+	// the biased exponent.
+	if exp <= 0 {
+		// Subnormal (or total underflow): shift right so the encoding's
+		// implicit exponent of 1 applies, folding shifted-out bits into
+		// sticky.
+		shift := uint32(1 - exp)
+		if shift > 12 {
+			shift = 12
+		}
+		if sig&((1<<shift)-1) != 0 {
+			sticky = true
+		}
+		sig >>= shift
+		exp = 0
+	}
+	if exp >= expMax {
+		return Float(sign) | PosInf
+	}
+	// Round to nearest even on the 3 GRS bits.
+	grs := sig & 7
+	sig >>= 3
+	roundUp := false
+	if grs > 4 || (grs == 4 && sticky) {
+		roundUp = true
+	} else if grs == 4 && !sticky {
+		roundUp = sig&1 == 1 // tie: to even
+	}
+	var n uint32
+	if exp == 0 {
+		n = sig // subnormal: no implicit bit to strip
+	} else {
+		n = uint32(exp)<<7 | (sig & fracMask)
+	}
+	if roundUp {
+		// Integer increment correctly carries fraction→exponent, promotes
+		// subnormal→normal, and saturates 0x7F7F→0x7F80 (infinity).
+		n++
+	}
+	return Float(sign) | Float(n)
+}
+
+// Add implements the Tangled "addf" instruction: f + g with round to
+// nearest even, full subnormal support, and IEEE special-value rules.
+func Add(f, g Float) Float {
+	if f.IsNaN() || g.IsNaN() {
+		return NaN
+	}
+	if f.IsInf() || g.IsInf() {
+		switch {
+		case f.IsInf() && g.IsInf():
+			if f.Sign() != g.Sign() {
+				return NaN // Inf + -Inf
+			}
+			return f
+		case f.IsInf():
+			return f
+		default:
+			return g
+		}
+	}
+	fs, fe, fm := unpack(f)
+	gs, ge, gm := unpack(g)
+	// Give subnormals the working exponent of 1 (their true scale).
+	if fe == 0 {
+		fe = 1
+	}
+	if ge == 0 {
+		ge = 1
+	}
+	// Ensure |f| >= |g| so alignment shifts g.
+	if fe < ge || (fe == ge && fm < gm) {
+		fs, gs = gs, fs
+		fe, ge = ge, fe
+		fm, gm = gm, fm
+	}
+	// Pre-shift by 3 for GRS precision.
+	fm <<= 3
+	gm <<= 3
+	sticky := false
+	if d := uint32(fe - ge); d > 0 {
+		if d >= 12 {
+			if gm != 0 {
+				sticky = true
+			}
+			gm = 0
+		} else {
+			if gm&((1<<d)-1) != 0 {
+				sticky = true
+			}
+			gm >>= d
+		}
+	}
+	var sig uint32
+	sign := fs
+	if fs == gs {
+		sig = fm + gm
+	} else {
+		sig = fm - gm
+		if sig == 0 && !sticky {
+			// Exact cancellation: IEEE says +0 under RNE.
+			return PosZero
+		}
+		if sticky {
+			// The discarded bits of gm make the true magnitude slightly
+			// smaller than sig; borrow one sticky-weighted unit so rounding
+			// sees value = sig - epsilon.
+			sig--
+		}
+	}
+	// sig currently carries value sig * 2^(fe) / 2^10-scale: unpacked sig had
+	// the leading 1 at bit 7; after <<3 it sits at bit 10, matching
+	// roundPack's normalized window with biased exponent fe.
+	return roundPack(sign, sig, fe, sticky)
+}
+
+// Sub returns f - g.
+func Sub(f, g Float) Float { return Add(f, g.Neg()) }
+
+// Mul implements the Tangled "mulf" instruction: f * g with round to
+// nearest even.
+func Mul(f, g Float) Float {
+	sign := (uint16(f) ^ uint16(g)) & signMask
+	if f.IsNaN() || g.IsNaN() {
+		return NaN
+	}
+	if f.IsInf() || g.IsInf() {
+		if f.IsZero() || g.IsZero() {
+			return NaN // 0 * Inf
+		}
+		return Float(sign) | PosInf
+	}
+	if f.IsZero() || g.IsZero() {
+		return Float(sign)
+	}
+	_, fe, fm := unpack(f)
+	_, ge, gm := unpack(g)
+	// Normalize subnormal inputs into the 8-bit significand window.
+	if fe == 0 {
+		fe = 1
+		for fm < 0x80 {
+			fm <<= 1
+			fe--
+		}
+	}
+	if ge == 0 {
+		ge = 1
+		for gm < 0x80 {
+			gm <<= 1
+			ge--
+		}
+	}
+	// 8x8 -> 16-bit product; leading 1 at bit 14 or 15. Scale so roundPack's
+	// bit-10 window corresponds to biased exponent e.
+	prod := fm * gm
+	e := fe + ge - expBias
+	// fm*gm has weight 2^-14 relative to 1.0 (each significand is s/2^7).
+	// roundPack wants the leading 1 at bit 10 meaning value s/2^10 * 2^e.
+	// prod/2^14 * 2^e == (prod>>4)/2^10 * 2^e; defer the shift to roundPack
+	// by adjusting exp: value = prod/2^10 * 2^(e-4).
+	return roundPack(sign, prod, e-4, false)
+}
+
+// Recip implements the Tangled "recip" instruction: 1/f with round to
+// nearest even. The hardware used a fraction-reciprocal lookup table; here
+// the table entries are generated by the same long division, retaining a
+// remainder-based sticky bit so results are correctly rounded.
+func Recip(f Float) Float {
+	if f.IsNaN() {
+		return NaN
+	}
+	sign := uint16(f) & signMask
+	if f.IsInf() {
+		return Float(sign) // 1/±Inf = ±0
+	}
+	if f.IsZero() {
+		return Float(sign) | PosInf // 1/±0 = ±Inf
+	}
+	_, fe, fm := unpack(f)
+	if fe == 0 {
+		fe = 1
+		for fm < 0x80 {
+			fm <<= 1
+			fe--
+		}
+	}
+	// f = (fm/2^7) * 2^(fe-bias). 1/f = (2^7/fm) * 2^(bias-fe).
+	// Compute q = 2^25/fm: fm in [128,256) so q in (2^17, 2^18], giving a
+	// significand with the leading 1 at bit 17 (or 18 for fm=128).
+	const numShift = 25
+	num := uint32(1) << numShift
+	q := num / fm
+	sticky := num%fm != 0
+	// 1/f = q * 2^(7-numShift) * 2^(bias-fe); matching roundPack's
+	// sig/2^10 * 2^(e-bias) form gives e = 2*bias + 10 + 7 - numShift - fe.
+	e := int32(2*expBias+10+7-numShift) - fe
+	return roundPack(sign, q, e, sticky)
+}
+
+// Div returns f/g, composed as f * recip(g) — exactly what Tangled code must
+// do, since the ISA has no divide. Note this is NOT correctly rounded
+// division; it inherits the two-rounding error of the instruction sequence.
+func Div(f, g Float) Float { return Mul(f, Recip(g)) }
+
+// FromInt implements the Tangled "float" instruction: convert a 16-bit
+// two's-complement integer to bfloat16 with round to nearest even.
+func FromInt(x int16) Float {
+	if x == 0 {
+		return PosZero
+	}
+	var sign uint16
+	v := uint32(int32(x))
+	if x < 0 {
+		sign = signMask
+		v = uint32(-int32(x))
+	}
+	// value = v * 2^0; present to roundPack with its bit-10 window meaning
+	// v/2^10 * 2^e = v  =>  biased e = bias + 10.
+	return roundPack(sign, v, expBias+10, false)
+}
+
+// ToInt implements the Tangled "int" instruction: truncate a bfloat16
+// toward zero to a 16-bit two's-complement integer. Out-of-range values
+// saturate; NaN converts to 0 (a common hardware choice).
+func ToInt(f Float) int16 {
+	if f.IsNaN() {
+		return 0
+	}
+	sign, fe, fm := unpack(f)
+	if fe == 0 {
+		return 0 // subnormals are all < 1
+	}
+	e := fe - expBias // value = (fm/2^7) * 2^e
+	if e < 0 {
+		return 0
+	}
+	if e > 15 { // includes Inf
+		if sign != 0 {
+			return math.MinInt16
+		}
+		return math.MaxInt16
+	}
+	var mag uint32
+	if e >= 7 {
+		mag = fm << uint(e-7)
+	} else {
+		mag = fm >> uint(7-e)
+	}
+	if sign != 0 {
+		if mag > 1<<15 {
+			return math.MinInt16
+		}
+		return int16(-int32(mag))
+	}
+	if mag > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	return int16(mag)
+}
+
+// Less reports f < g under IEEE ordering (NaN unordered: always false).
+func Less(f, g Float) bool {
+	if f.IsNaN() || g.IsNaN() {
+		return false
+	}
+	if f.IsZero() && g.IsZero() {
+		return false
+	}
+	fneg, gneg := f.Sign() == 1, g.Sign() == 1
+	switch {
+	case fneg && !gneg:
+		return true
+	case !fneg && gneg:
+		return false
+	case !fneg:
+		return uint16(f) < uint16(g)
+	default:
+		return uint16(f.Abs()) > uint16(g.Abs())
+	}
+}
+
+// Eq reports f == g under IEEE rules: NaN compares unequal to everything,
+// +0 equals -0.
+func Eq(f, g Float) bool {
+	if f.IsNaN() || g.IsNaN() {
+		return false
+	}
+	if f.IsZero() && g.IsZero() {
+		return true
+	}
+	return f == g
+}

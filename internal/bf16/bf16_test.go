@@ -1,0 +1,470 @@
+package bf16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refRound rounds a float32 to bfloat16 via the independent "shift and RNE
+// on the raw bits" path, used as the oracle for operation results. Sums and
+// products of bfloat16 values are exact in float32 (8-bit significands, 16
+// spare bits), so rounding the float32 result is the correctly rounded
+// bfloat16 result.
+func refRound(x float32) Float {
+	return FromFloat32(x)
+}
+
+func refAdd(a, b Float) Float {
+	fa, fb := a.Float32(), b.Float32()
+	s := fa + fb
+	if s == 0 && !math.IsNaN(float64(fa)) && !math.IsNaN(float64(fb)) {
+		// Keep IEEE signed-zero semantics from the host FPU.
+		return refRound(s)
+	}
+	return refRound(s)
+}
+
+func refMul(a, b Float) Float {
+	return refRound(a.Float32() * b.Float32())
+}
+
+// sameValue compares results treating all NaNs as equivalent.
+func sameValue(a, b Float) bool {
+	if a.IsNaN() && b.IsNaN() {
+		return true
+	}
+	return a == b
+}
+
+// interestingValues is a corpus hitting every special class and boundary.
+var interestingValues = []Float{
+	PosZero, NegZero, One, NegOne, PosInf, NegInf, NaN,
+	0x0001,         // min subnormal
+	0x007F,         // max subnormal
+	0x0080,         // min normal
+	0x0081,         // min normal + 1 ulp
+	0x00FF,         // min normal, max frac
+	0x3F7F,         // just below 1.0
+	0x3F81,         // just above 1.0
+	0x4000,         // 2.0
+	0x4049,         // ~3.14
+	0x7F7F,         // max finite
+	0x7F00,         // large
+	0xFF7F,         // -max finite
+	0x8001,         // -min subnormal
+	0x42FE,         // 127.0
+	0xC2FE,         // -127.0
+	0x7FC0, 0x7FFF, // NaNs
+	0x3C00, 0x3800, // random-ish mid-range values
+	0x4780, // 65536.0 (beyond int16)
+	0xC780, // -65536.0
+	0x4700, // 32768.0
+	0x46FF, // 32640.0
+}
+
+func TestAddAgainstReference(t *testing.T) {
+	for _, a := range interestingValues {
+		for _, b := range interestingValues {
+			got := Add(a, b)
+			want := refAdd(a, b)
+			if !sameValue(got, want) {
+				t.Errorf("Add(%#04x, %#04x) = %#04x, want %#04x (%g + %g)",
+					uint16(a), uint16(b), uint16(got), uint16(want),
+					a.Float64(), b.Float64())
+			}
+		}
+	}
+}
+
+func TestAddRandomExhaustiveSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		a, b := Float(r.Uint32()), Float(r.Uint32())
+		got, want := Add(a, b), refAdd(a, b)
+		if !sameValue(got, want) {
+			t.Fatalf("Add(%#04x, %#04x) = %#04x, want %#04x",
+				uint16(a), uint16(b), uint16(got), uint16(want))
+		}
+	}
+}
+
+func TestMulAgainstReference(t *testing.T) {
+	for _, a := range interestingValues {
+		for _, b := range interestingValues {
+			got := Mul(a, b)
+			want := refMul(a, b)
+			if !sameValue(got, want) {
+				t.Errorf("Mul(%#04x, %#04x) = %#04x, want %#04x (%g * %g)",
+					uint16(a), uint16(b), uint16(got), uint16(want),
+					a.Float64(), b.Float64())
+			}
+		}
+	}
+}
+
+func TestMulRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200000; i++ {
+		a, b := Float(r.Uint32()), Float(r.Uint32())
+		got, want := Mul(a, b), refMul(a, b)
+		if !sameValue(got, want) {
+			t.Fatalf("Mul(%#04x, %#04x) = %#04x, want %#04x",
+				uint16(a), uint16(b), uint16(got), uint16(want))
+		}
+	}
+}
+
+func TestRecipExhaustive(t *testing.T) {
+	// All 65536 encodings. Oracle: float64 reciprocal rounded to bfloat16
+	// (double rounding is safe here; see package tests note — 1/x never
+	// falls within float64 epsilon of a bfloat16 rounding boundary except
+	// when exact).
+	for i := 0; i < 1<<16; i++ {
+		f := Float(i)
+		got := Recip(f)
+		want := FromFloat32(float32(1.0 / f.Float64()))
+		if f.IsZero() {
+			want = Float(uint16(f)&signMask) | PosInf
+		}
+		if !sameValue(got, want) {
+			t.Fatalf("Recip(%#04x=%g) = %#04x (%g), want %#04x (%g)",
+				uint16(f), f.Float64(), uint16(got), got.Float64(),
+				uint16(want), want.Float64())
+		}
+	}
+}
+
+func TestFromIntExhaustive(t *testing.T) {
+	for i := math.MinInt16; i <= math.MaxInt16; i++ {
+		got := FromInt(int16(i))
+		want := FromFloat32(float32(i))
+		if got != want {
+			t.Fatalf("FromInt(%d) = %#04x, want %#04x", i, uint16(got), uint16(want))
+		}
+	}
+}
+
+func TestToIntExhaustive(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		f := Float(i)
+		got := ToInt(f)
+		var want int16
+		switch {
+		case f.IsNaN():
+			want = 0
+		default:
+			v := math.Trunc(f.Float64())
+			switch {
+			case v > math.MaxInt16:
+				want = math.MaxInt16
+			case v < math.MinInt16:
+				want = math.MinInt16
+			default:
+				want = int16(v)
+			}
+		}
+		if got != want {
+			t.Fatalf("ToInt(%#04x=%g) = %d, want %d", i, f.Float64(), got, want)
+		}
+	}
+}
+
+func TestFloatIntRoundTrip(t *testing.T) {
+	// int -> float -> int is exact for all integers with <= 8 significant
+	// bits; this is the class CPE480 sanity test.
+	for _, v := range []int16{0, 1, -1, 2, 100, -100, 127, -128, 255, -255, 256} {
+		if got := ToInt(FromInt(v)); got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	if One.Neg() != NegOne {
+		t.Error("neg 1.0 != -1.0")
+	}
+	if NegOne.Neg() != One {
+		t.Error("neg -1.0 != 1.0")
+	}
+	if NegInf.Abs() != PosInf {
+		t.Error("abs -inf != inf")
+	}
+	if PosZero.Neg() != NegZero {
+		t.Error("neg +0 != -0")
+	}
+}
+
+func TestSpecialValueRules(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Float
+		nan  bool
+		want Float
+	}{
+		{"inf+inf", Add(PosInf, PosInf), false, PosInf},
+		{"inf+-inf", Add(PosInf, NegInf), true, 0},
+		{"inf*0", Mul(PosInf, PosZero), true, 0},
+		{"inf*-1", Mul(PosInf, NegOne), false, NegInf},
+		{"nan+1", Add(NaN, One), true, 0},
+		{"nan*1", Mul(NaN, One), true, 0},
+		{"recip nan", Recip(NaN), true, 0},
+		{"recip inf", Recip(PosInf), false, PosZero},
+		{"recip -inf", Recip(NegInf), false, NegZero},
+		{"recip +0", Recip(PosZero), false, PosInf},
+		{"recip -0", Recip(NegZero), false, NegInf},
+		{"1+-1", Add(One, NegOne), false, PosZero},
+	}
+	for _, c := range cases {
+		if c.nan {
+			if !c.got.IsNaN() {
+				t.Errorf("%s: got %#04x, want NaN", c.name, uint16(c.got))
+			}
+		} else if c.got != c.want {
+			t.Errorf("%s: got %#04x, want %#04x", c.name, uint16(c.got), uint16(c.want))
+		}
+	}
+}
+
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		return sameValue(Add(Float(a), Float(b)), Add(Float(b), Float(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutativeProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		return sameValue(Mul(Float(a), Float(b)), Mul(Float(b), Float(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddIdentityProperty(t *testing.T) {
+	f := func(a uint16) bool {
+		x := Float(a)
+		if x.IsNaN() {
+			return Add(x, PosZero).IsNaN()
+		}
+		if x.IsZero() {
+			return Add(x, PosZero).IsZero()
+		}
+		return Add(x, PosZero) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	f := func(a uint16) bool {
+		x := Float(a)
+		if x.IsNaN() {
+			return Mul(x, One).IsNaN()
+		}
+		return Mul(x, One) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXPlusNegXIsZero(t *testing.T) {
+	f := func(a uint16) bool {
+		x := Float(a)
+		if x.IsNaN() || x.IsInf() {
+			return true
+		}
+		return Add(x, x.Neg()).IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLess(t *testing.T) {
+	cases := []struct {
+		a, b Float
+		want bool
+	}{
+		{One, Float(0x4000), true},           // 1 < 2
+		{NegOne, One, true},                  // -1 < 1
+		{NegOne, NegZero, true},              // -1 < -0
+		{PosZero, NegZero, false},            // +0 == -0
+		{NegZero, PosZero, false},            // -0 == +0
+		{NegInf, NegOne, true},               // -inf < -1
+		{Float(0xC000), NegOne, true},        // -2 < -1
+		{One, One, false},                    // equal
+		{NaN, One, false},                    // unordered
+		{One, NaN, false},                    // unordered
+		{Float(0x7F7F), PosInf, true},        // max finite < inf
+		{Float(0x0001), Float(0x0002), true}, // subnormal ordering
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.want {
+			t.Errorf("Less(%g,%g) = %v, want %v", c.a.Float64(), c.b.Float64(), got, c.want)
+		}
+	}
+}
+
+func TestLessMatchesFloat64Property(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := Float(a), Float(b)
+		return Less(x, y) == (x.Float64() < y.Float64())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEq(t *testing.T) {
+	if !Eq(PosZero, NegZero) {
+		t.Error("+0 must equal -0")
+	}
+	if Eq(NaN, NaN) {
+		t.Error("NaN must not equal NaN")
+	}
+	if !Eq(One, One) {
+		t.Error("1 must equal 1")
+	}
+}
+
+func TestDivBehaves(t *testing.T) {
+	// Div is mul-by-reciprocal (the only division Tangled can express);
+	// check it is within 1 ulp of true division on normal values.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		a, b := Float(r.Uint32()), Float(r.Uint32())
+		if a.IsNaN() || b.IsNaN() || b.IsZero() || a.IsInf() || b.IsInf() {
+			continue
+		}
+		if Recip(b)&expMask == 0 {
+			// Subnormal reciprocal: the intermediate has only a few
+			// significand bits, so mul-by-recip legitimately diverges.
+			continue
+		}
+		got := Div(a, b)
+		want := FromFloat32(float32(a.Float64() / b.Float64()))
+		if got.IsInf() || want.IsInf() || got.IsZero() || want.IsZero() {
+			continue // range edges can legitimately differ by rounding path
+		}
+		diff := int32(uint16(got.Abs())) - int32(uint16(want.Abs()))
+		if got.Sign() != want.Sign() || diff < -1 || diff > 1 {
+			t.Fatalf("Div(%g,%g) = %g, true %g", a.Float64(), b.Float64(),
+				got.Float64(), want.Float64())
+		}
+	}
+}
+
+func TestFromFloat32NaNPreserved(t *testing.T) {
+	n := FromFloat32(float32(math.NaN()))
+	if !n.IsNaN() {
+		t.Fatal("NaN lost in conversion")
+	}
+}
+
+func TestPaperIdentityWiden(t *testing.T) {
+	// "values can be treated as standard 32-bit float values by simply
+	// catenating a 16-bit value of 0" — widening then re-narrowing is exact
+	// for every encoding.
+	for i := 0; i < 1<<16; i++ {
+		f := Float(i)
+		back := FromFloat32(f.Float32())
+		if f.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("%#04x: NaN not preserved", i)
+			}
+			continue
+		}
+		if back != f {
+			t.Fatalf("%#04x -> float32 -> %#04x not exact", i, uint16(back))
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := FromFloat32(1.5), FromFloat32(2.25)
+	for i := 0; i < b.N; i++ {
+		x = Add(x, y)
+		if x.IsInf() {
+			x = One
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := FromFloat32(1.0001), FromFloat32(1.5)
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y)
+	}
+}
+
+func BenchmarkRecip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Recip(Float(i&0x7FFF | 0x100))
+	}
+}
+
+// TestRecipLUTWithinOneUlp: the table-lookup datapath (the course's VMEM
+// ROM design) agrees with the correctly rounded reciprocal to within one
+// ulp on every encoding, and exactly on the large majority.
+func TestRecipLUTWithinOneUlp(t *testing.T) {
+	exact := 0
+	finite := 0
+	for i := 0; i < 1<<16; i++ {
+		f := Float(i)
+		got := RecipLUT(f)
+		want := Recip(f)
+		if want.IsNaN() {
+			if !got.IsNaN() {
+				t.Fatalf("RecipLUT(%#04x) = %#04x, want NaN", i, uint16(got))
+			}
+			continue
+		}
+		if got == want {
+			if !f.IsZero() && !f.IsInf() {
+				exact++
+				finite++
+			}
+			continue
+		}
+		finite++
+		if got.Sign() != want.Sign() {
+			t.Fatalf("RecipLUT(%#04x): sign differs", i)
+		}
+		diff := int32(uint16(got.Abs())) - int32(uint16(want.Abs()))
+		if diff < -1 || diff > 1 {
+			t.Fatalf("RecipLUT(%#04x) = %#04x, correctly rounded %#04x (off by %d ulp)",
+				i, uint16(got), uint16(want), diff)
+		}
+	}
+	if frac := float64(exact) / float64(finite); frac < 0.85 {
+		t.Errorf("only %.1f%% of reciprocals exact; ROM precision too low", 100*frac)
+	}
+}
+
+func TestRecipLUTSpecials(t *testing.T) {
+	if RecipLUT(PosZero) != PosInf || RecipLUT(NegZero) != NegInf {
+		t.Error("1/±0")
+	}
+	if RecipLUT(PosInf) != PosZero || RecipLUT(NegInf) != NegZero {
+		t.Error("1/±inf")
+	}
+	if !RecipLUT(NaN).IsNaN() {
+		t.Error("1/NaN")
+	}
+	if RecipLUT(One) != One {
+		t.Error("1/1")
+	}
+}
+
+func BenchmarkRecipLUT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RecipLUT(Float(i&0x7FFF | 0x100))
+	}
+}

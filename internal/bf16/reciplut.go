@@ -1,0 +1,53 @@
+package bf16
+
+// The course's Verilog float library computed reciprocals with "a small
+// VMEM file initializing a lookup table for computing fraction
+// reciprocals". RecipLUT reproduces that hardware structure: a 128-entry
+// ROM indexed by the 7-bit fraction delivers the reciprocal significand
+// directly, with no iterative refinement. It trades correct rounding (which
+// Recip provides via long division) for a single table access — the
+// FPGA-friendly design — and lands within one ulp of the rounded result.
+
+// recipROM[f] holds round(2^15 / (0x80|f)), a 9-bit-significant fixed-point
+// reciprocal of the normalized significand 1.f — the contents of the VMEM
+// file.
+var recipROM [128]uint32
+
+func init() {
+	for f := 0; f < 128; f++ {
+		den := uint32(0x80 | f)
+		recipROM[f] = (uint32(1)<<15 + den/2) / den
+	}
+}
+
+// RecipLUT computes 1/f with the table-lookup datapath. Special values
+// follow the same rules as Recip; results may differ from the correctly
+// rounded reciprocal by at most one unit in the last place (exhaustively
+// verified in the tests).
+func RecipLUT(f Float) Float {
+	if f.IsNaN() {
+		return NaN
+	}
+	sign := uint16(f) & signMask
+	if f.IsInf() {
+		return Float(sign)
+	}
+	if f.IsZero() {
+		return Float(sign) | PosInf
+	}
+	_, fe, fm := unpack(f)
+	if fe == 0 {
+		fe = 1
+		for fm < 0x80 {
+			fm <<= 1
+			fe--
+		}
+	}
+	// fm in [0x80, 0xFF]; the ROM returns q ~= 2^15/fm in [0x100, 0x200].
+	q := recipROM[fm&0x7F]
+	// 1/f = q * 2^(-15) * 2^7 * 2^(bias - fe): same scale derivation as
+	// Recip with numShift = 15. No sticky information survives the ROM, so
+	// rounding is whatever the table baked in.
+	e := int32(2*expBias+10+7-15) - fe
+	return roundPack(sign, q, e, false)
+}

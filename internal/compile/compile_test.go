@@ -1,0 +1,354 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"tangled/internal/aob"
+	"tangled/internal/asm"
+	"tangled/internal/core"
+	"tangled/internal/cpu"
+)
+
+func asmProgram(src string) (*asm.Program, error) { return asm.Assemble(src) }
+
+// runAsm assembles and executes generated code on a functional machine.
+func runAsm(t *testing.T, src string, ways int, constants bool) *cpu.Machine {
+	t.Helper()
+	var m *cpu.Machine
+	if constants {
+		m = cpu.NewWithConstants(ways)
+	} else {
+		m = cpu.New(ways)
+	}
+	prog, err := asmProgram(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\nsource:\n%s", err, src)
+	}
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// optionMatrix enumerates the Section 5 ablation space.
+var optionMatrix = []Options{
+	{},
+	{Reuse: true},
+	{ConstantRegs: true},
+	{Reversible: true},
+	{Reuse: true, ConstantRegs: true},
+	{Reuse: true, Reversible: true},
+	{Reuse: true, ConstantRegs: true, Reversible: true},
+}
+
+// TestFig10FactorAssembly generates and runs the Figure 10 program: the
+// prime factors of 15 land in $4 (paper's $0) and $1 — 5 and 3.
+func TestFig10FactorAssembly(t *testing.T) {
+	for _, opts := range optionMatrix {
+		res, err := FactorProgram(15, 8, 4, 4, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		m := runAsm(t, res.Asm, 8, opts.ConstantRegs)
+		if m.Regs[4] != 5 || m.Regs[1] != 3 {
+			t.Fatalf("opts %+v: factors $4=%d $1=%d, want 5 and 3\n%s",
+				opts, m.Regs[4], m.Regs[1], res.Asm)
+		}
+	}
+}
+
+// TestFig10Scale sanity-checks the faithful configuration against the
+// paper's program shape: Figure 10 lists ~80 Qat gate operations and
+// allocates 81 registers (@0..@80) for factoring 15.
+func TestFig10Scale(t *testing.T) {
+	res, err := FactorProgram(15, 8, 4, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QatInsts < 40 || res.QatInsts > 200 {
+		t.Errorf("generated %d Qat instructions; paper's program has ~80", res.QatInsts)
+	}
+	if res.RegsUsed < 30 || res.RegsUsed > 200 {
+		t.Errorf("peak registers %d; paper used 81", res.RegsUsed)
+	}
+}
+
+// TestX221Factor221Hardware factors the original 221 on the full 16-way
+// hardware configuration. Greedy no-reuse allocation cannot fit (the paper
+// notes "far fewer registers ... could have been used" — for 8x8 operands
+// they are required), so this also demonstrates the Reuse ablation.
+func TestX221Factor221Hardware(t *testing.T) {
+	if _, err := FactorProgram(221, 16, 8, 8, Options{}); err == nil {
+		t.Fatal("expected register exhaustion without reuse")
+	}
+	res, err := FactorProgram(221, 16, 8, 8, Options{Reuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAsm(t, res.Asm, 16, false)
+	f1, f2 := m.Regs[4], m.Regs[1]
+	if !(f1 == 17 && f2 == 13) && !(f1 == 13 && f2 == 17) {
+		t.Fatalf("factors of 221: %d, %d", f1, f2)
+	}
+	if res.RegsUsed > 256 {
+		t.Fatalf("reuse mode still needs %d registers", res.RegsUsed)
+	}
+	t.Logf("221: %d qat insts, %d peak regs", res.QatInsts, res.RegsUsed)
+}
+
+// TestIndicatorMatchesCoreModel cross-validates the compiled gate program
+// against the direct PBP software model: the e register must hold exactly
+// the channels where b*c == n.
+func TestIndicatorMatchesCoreModel(t *testing.T) {
+	for _, n := range []uint64{6, 9, 12, 15} {
+		res, err := FactorProgram(n, 8, 4, 4, Options{Reuse: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := runAsm(t, res.Asm, 8, false)
+		got := m.Qat.Reg(res.EReg)
+
+		mm := core.NewAoB(8)
+		b := core.H(mm, 4, 0x0F)
+		cc := core.H(mm, 4, 0xF0)
+		want := b.Mul(cc).Eq(core.Mk(mm, 8, n))
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: e register %s != model %s", n, got, want)
+		}
+	}
+}
+
+// TestCompiledAdder compiles b+c over disjoint Hadamards and verifies every
+// channel of every output bit against integer addition.
+func TestCompiledAdder(t *testing.T) {
+	for _, opts := range optionMatrix {
+		c := New(8, opts)
+		a := c.HInt(4, 0x0F)
+		b := c.HInt(4, 0xF0)
+		sum := c.AddInt(a, b)
+		if c.Err() != nil {
+			t.Fatalf("opts %+v: %v", opts, c.Err())
+		}
+		regs := make([]uint8, sum.Width())
+		for i := range sum.Bits {
+			regs[i] = c.Reg(&sum.Bits[i])
+		}
+		m := runAsm(t, c.Asm()+"lex $0,0\nsys\n", 8, opts.ConstantRegs)
+		for ch := uint64(0); ch < 256; ch++ {
+			va, vb := ch&15, ch>>4
+			want := va + vb
+			var got uint64
+			for i, r := range regs {
+				got |= m.Qat.Reg(r).Meas(ch) << uint(i)
+			}
+			if got != want {
+				t.Fatalf("opts %+v ch %d: %d+%d = %d, got %d", opts, ch, va, vb, want, got)
+			}
+		}
+	}
+}
+
+// TestCompiledMultiplier verifies the full 4x4 product on every channel.
+func TestCompiledMultiplier(t *testing.T) {
+	c := New(8, Options{Reuse: true})
+	a := c.HInt(4, 0x0F)
+	b := c.HInt(4, 0xF0)
+	prod := c.MulInt(a, b)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	regs := make([]uint8, prod.Width())
+	for i := range prod.Bits {
+		regs[i] = c.Reg(&prod.Bits[i])
+	}
+	m := runAsm(t, c.Asm()+"lex $0,0\nsys\n", 8, false)
+	for ch := uint64(0); ch < 256; ch++ {
+		want := (ch & 15) * (ch >> 4)
+		var got uint64
+		for i, r := range regs {
+			got |= m.Qat.Reg(r).Meas(ch) << uint(i)
+		}
+		if got != want {
+			t.Fatalf("ch %d: %d*%d = %d, got %d", ch, ch&15, ch>>4, want, got)
+		}
+	}
+}
+
+// TestS5AblationReversibleCostsMore: restricting to the reversible gate set
+// (not/cnot/ccnot + copies) inflates the instruction count — the paper's
+// question "is it worthwhile directly implementing the more-complex
+// reversible gate operations?" answered from the other side.
+func TestS5AblationReversibleCostsMore(t *testing.T) {
+	irr, err := FactorProgram(15, 8, 4, 4, Options{Reuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := FactorProgram(15, 8, 4, 4, Options{Reuse: true, Reversible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.QatInsts <= irr.QatInsts {
+		t.Errorf("reversible %d insts <= irreversible %d", rev.QatInsts, irr.QatInsts)
+	}
+	t.Logf("irreversible: %d insts; reversible: %d insts (%.2fx)",
+		irr.QatInsts, rev.QatInsts, float64(rev.QatInsts)/float64(irr.QatInsts))
+}
+
+// TestS5AblationReuseShrinksRegisters quantifies the paper's observation
+// that greedy no-reuse allocation wastes registers.
+func TestS5AblationReuseShrinksRegisters(t *testing.T) {
+	noReuse, err := FactorProgram(15, 8, 4, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse, err := FactorProgram(15, 8, 4, 4, Options{Reuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reuse.RegsUsed >= noReuse.RegsUsed {
+		t.Errorf("reuse %d regs >= no-reuse %d", reuse.RegsUsed, noReuse.RegsUsed)
+	}
+	t.Logf("no-reuse: %d regs; reuse: %d regs", noReuse.RegsUsed, reuse.RegsUsed)
+}
+
+// TestS5AblationConstantRegsRemoveInitializers: with the constant bank, no
+// had/zero/one instructions appear; copies from the bank replace them.
+func TestS5AblationConstantRegsRemoveInitializers(t *testing.T) {
+	res, err := FactorProgram(15, 8, 4, 4, Options{ConstantRegs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mn := range []string{"had", "zero", "one"} {
+		if strings.Contains(res.Asm, mn+" ") {
+			t.Errorf("constant-reg program still contains %q", mn)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	c := New(8, Options{})
+	// Operations on constants emit nothing.
+	if r := c.And(c.Const(1), c.Const(0)); !r.IsConst() || r.ConstVal() != 0 {
+		t.Error("1 AND 0")
+	}
+	if r := c.Or(c.Const(1), c.Const(0)); !r.IsConst() || r.ConstVal() != 1 {
+		t.Error("1 OR 0")
+	}
+	if r := c.Xor(c.Const(1), c.Const(1)); !r.IsConst() || r.ConstVal() != 0 {
+		t.Error("1 XOR 1")
+	}
+	if r := c.Not(c.Const(0)); !r.IsConst() || r.ConstVal() != 1 {
+		t.Error("NOT 0")
+	}
+	if c.InstCount() != 0 {
+		t.Errorf("constant ops emitted %d instructions", c.InstCount())
+	}
+	// Mixed const/dynamic folds to the dynamic operand without code.
+	h := c.Had(3)
+	before := c.InstCount()
+	if r := c.And(h, c.Const(1)); r.IsConst() {
+		t.Error("h AND 1 lost the register")
+	}
+	if c.InstCount() != before {
+		t.Error("identity AND emitted code")
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	c := New(8, Options{Reuse: true})
+	h := c.Had(0)
+	c.Free(h)
+	c.Free(h)
+	if c.Err() == nil {
+		t.Fatal("double free not detected")
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	c := New(8, Options{})
+	for i := 0; i < 300; i++ {
+		c.Had(0)
+	}
+	if c.Err() == nil {
+		t.Fatal("no exhaustion error after 300 allocations")
+	}
+}
+
+func TestHadOutOfRange(t *testing.T) {
+	c := New(4, Options{})
+	c.Had(4)
+	if c.Err() == nil {
+		t.Fatal("had 4 on 4-way accepted")
+	}
+}
+
+func TestFactorValidation(t *testing.T) {
+	if _, err := FactorProgram(15, 8, 5, 5, Options{}); err == nil {
+		t.Error("operands exceeding ways accepted")
+	}
+	if _, err := FactorProgram(300, 8, 4, 4, Options{}); err == nil {
+		t.Error("oversized n accepted")
+	}
+}
+
+func TestReuseRecyclesRegisters(t *testing.T) {
+	c := New(8, Options{Reuse: true})
+	a := c.Had(0)
+	b := c.Had(1)
+	x := c.Xor(a, b)
+	c.Free(a)
+	c.Free(b)
+	c.Free(x)
+	// The next three allocations must recycle rather than grow.
+	before := c.nextReg
+	c.Had(2)
+	c.Had(3)
+	c.Had(4)
+	if c.nextReg != before {
+		t.Errorf("allocator grew to %d despite free list", c.nextReg)
+	}
+}
+
+// TestSharedRegisterSurvivesPartialFree: folding can alias two handles to
+// one register; freeing one must keep the register alive.
+func TestSharedRegisterSurvivesPartialFree(t *testing.T) {
+	c := New(8, Options{Reuse: true})
+	h := c.Had(5)
+	alias := c.And(h, c.Const(1)) // shares h's register
+	c.Free(h)
+	// Register must not be recycled: allocate and confirm it differs.
+	n := c.Had(6)
+	if n.c.reg == alias.c.reg {
+		t.Fatal("live shared register was recycled")
+	}
+	// e still usable in an op.
+	out := c.Xor(alias, n)
+	if out.IsConst() {
+		t.Fatal("lost value")
+	}
+	m := runAsm(t, c.Asm()+"lex $0,0\nsys\n", 8, false)
+	want := aob.HadVector(8, 5)
+	if !m.Qat.Reg(alias.c.reg).Equal(want) {
+		t.Error("aliased register corrupted")
+	}
+}
+
+func BenchmarkFig10Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorProgram(15, 8, 4, 4, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX221Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorProgram(221, 16, 8, 8, Options{Reuse: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file holds additional word-level operations and complete program
+// generators beyond the Figure 10 factoring example: comparisons, gated
+// accumulation, and a subset-sum solver — the same "reformulate the
+// problem as entangled superposition" recipe applied to another NP search,
+// all compiled to Table 3 gate instructions and runnable on the simulated
+// hardware.
+
+// LtInt returns the single pbit (a < b) as unsigned integers, built from a
+// ripple borrow chain with constant folding. Inputs stay owned by the
+// caller.
+func (c *Compiler) LtInt(a, b Pint) Pbit {
+	w := len(a.Bits)
+	if len(b.Bits) > w {
+		w = len(b.Bits)
+	}
+	bit := func(p Pint, i int) Pbit {
+		if i < len(p.Bits) {
+			return p.Bits[i]
+		}
+		return c.Const(0)
+	}
+	borrow := c.Const(0)
+	for i := 0; i < w; i++ {
+		ai, bi := bit(a, i), bit(b, i)
+		na := c.Not(ai)
+		t1 := c.And(na, bi)
+		x := c.Xor(ai, bi)
+		xn := c.Not(x)
+		t2 := c.And(xn, borrow)
+		newBorrow := c.Or(t1, t2)
+		c.Free(na)
+		c.Free(t1)
+		c.Free(x)
+		c.Free(xn)
+		c.Free(t2)
+		c.Free(borrow)
+		borrow = newBorrow
+	}
+	return borrow
+}
+
+// MuxInt returns, channel-wise, b where sel=1 and a where sel=0 — the
+// word-level cswap view. Inputs stay owned by the caller.
+func (c *Compiler) MuxInt(a, b Pint, sel Pbit) Pint {
+	w := len(a.Bits)
+	if len(b.Bits) > w {
+		w = len(b.Bits)
+	}
+	bit := func(p Pint, i int) Pbit {
+		if i < len(p.Bits) {
+			return p.Bits[i]
+		}
+		return c.Const(0)
+	}
+	ns := c.Not(sel)
+	out := Pint{Bits: make([]Pbit, w)}
+	for i := 0; i < w; i++ {
+		t1 := c.And(bit(a, i), ns)
+		t2 := c.And(bit(b, i), sel)
+		out.Bits[i] = c.Or(t1, t2)
+		c.Free(t1)
+		c.Free(t2)
+	}
+	c.Free(ns)
+	return out
+}
+
+// GatedConst returns the pint that is `value` where sel=1 and 0 elsewhere —
+// the conditional-add operand. Thanks to constant folding this emits no
+// instructions: 1-bits of value become shares of sel, 0-bits fold away.
+func (c *Compiler) GatedConst(width int, value uint64, sel Pbit) Pint {
+	out := Pint{Bits: make([]Pbit, width)}
+	for i := range out.Bits {
+		if value>>uint(i)&1 == 1 {
+			out.Bits[i] = sel.share()
+		} else {
+			out.Bits[i] = c.Const(0)
+		}
+	}
+	return out
+}
+
+// SubsetSumResult describes a generated subset-sum program.
+type SubsetSumResult struct {
+	// Asm is the runnable program. After execution:
+	//   $1 = lowest solution channel (the subset bitmask), or 0 if the only
+	//        solution is channel 0 or none exists (check $4),
+	//   $2 = number of solutions,
+	//   $4 = 1 if the empty subset (channel 0) is a solution.
+	Asm      string
+	EReg     uint8
+	QatInsts int
+	RegsUsed int
+}
+
+// SubsetSumProgram compiles "which subsets of weights sum to target" for
+// the Qat hardware: one Hadamard pbit per item (so len(weights) must not
+// exceed the entanglement degree), a gated ripple accumulator, and an
+// equality indicator measured with the pop/next idiom.
+func SubsetSumProgram(weights []uint64, target uint64, ways int, opts Options) (*SubsetSumResult, error) {
+	if len(weights) > ways {
+		return nil, fmt.Errorf("compile: %d items exceed %d-way entanglement", len(weights), ways)
+	}
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	if target > total {
+		return nil, fmt.Errorf("compile: target %d exceeds total weight %d", target, total)
+	}
+	width := 1
+	for uint64(1)<<uint(width) <= total {
+		width++
+	}
+	c := New(ways, opts)
+	c.Comment(fmt.Sprintf("subset-sum: %d items, target %d, %d-bit accumulator", len(weights), target, width))
+	acc := c.MkInt(width, 0)
+	for i, w := range weights {
+		sel := c.Had(i)
+		gated := c.GatedConst(width, w, sel)
+		sum := c.AddInt(acc, gated)
+		c.FreeInt(acc)
+		c.FreeInt(gated)
+		c.Free(sel)
+		c.Free(sum.Bits[width])
+		sum.Bits = sum.Bits[:width]
+		acc = sum
+	}
+	e := c.EqInt(acc, c.MkInt(width, target))
+	if opts.Reuse {
+		c.FreeInt(acc)
+	}
+	// Pin unused channel sets to 0 so each subset is counted exactly once.
+	for k := len(weights); k < ways; k++ {
+		h := c.Had(k)
+		nh := c.Not(h)
+		e2 := c.And(e, nh)
+		c.Free(e)
+		c.Free(nh)
+		c.Free(h)
+		e = e2
+	}
+	if c.Err() != nil {
+		return nil, c.Err()
+	}
+	eReg := c.Reg(&e)
+	qatInsts := c.InstCount()
+
+	var tail strings.Builder
+	tail.WriteString("; measurement tail: count and first solution\n")
+	fmt.Fprintf(&tail, "lex $2,0\npop $2,@%d\n", eReg)
+	fmt.Fprintf(&tail, "lex $4,0\nmeas $4,@%d\n", eReg)
+	tail.WriteString("add $2,$4\n") // total = pop-after-0 + channel 0
+	fmt.Fprintf(&tail, "lex $1,0\nnext $1,@%d\n", eReg)
+	tail.WriteString("lex $0,0\nsys\n")
+
+	return &SubsetSumResult{
+		Asm:      c.Asm() + tail.String(),
+		EReg:     eReg,
+		QatInsts: qatInsts,
+		RegsUsed: c.RegsUsed(),
+	}, c.Err()
+}
+
+// NeInt returns the single pbit (a != b). Inputs stay owned by the caller.
+func (c *Compiler) NeInt(a, b Pint) Pbit {
+	eq := c.EqInt(a, b)
+	out := c.Not(eq)
+	c.Free(eq)
+	return out
+}
+
+// NQueensResult describes a generated N-queens program.
+type NQueensResult struct {
+	// Asm is the runnable program. After execution $2 holds the solution
+	// count, $1 the lowest solution channel > 0 (board encoding: colBits
+	// bits per row, row 0 least significant).
+	Asm      string
+	EReg     uint8
+	ColBits  int
+	QatInsts int
+	RegsUsed int
+}
+
+// NQueensProgram compiles the N-queens constraint search to Qat gates: one
+// Hadamard-superposed column pint per row, pairwise non-attacking
+// constraints, and the pop/next measurement tail. Requires n*colBits ways.
+func NQueensProgram(n, ways int, opts Options) (*NQueensResult, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("compile: n-queens needs n >= 2")
+	}
+	colBits := 1
+	for 1<<uint(colBits) < n {
+		colBits++
+	}
+	if n*colBits > ways {
+		return nil, fmt.Errorf("compile: %d-queens needs %d ways, have %d", n, n*colBits, ways)
+	}
+	c := New(ways, opts)
+	c.Comment(fmt.Sprintf("%d-queens: %d column bits per row", n, colBits))
+	cols := make([]Pint, n)
+	for row := range cols {
+		mask := (uint64(1)<<uint(colBits) - 1) << (uint(colBits) * uint(row))
+		cols[row] = c.HInt(colBits, mask)
+	}
+	ok := c.Const(1)
+	keep := func(cond Pbit) {
+		next := c.And(ok, cond)
+		c.Free(ok)
+		c.Free(cond)
+		ok = next
+	}
+	if n != 1<<uint(colBits) {
+		limit := c.MkInt(colBits, uint64(n))
+		for row := range cols {
+			keep(c.LtInt(cols[row], limit))
+		}
+	}
+	w := colBits + 1
+	ext := func(p Pint) Pint {
+		out := Pint{Bits: make([]Pbit, w)}
+		for i := range out.Bits {
+			if i < len(p.Bits) {
+				out.Bits[i] = p.Bits[i].share()
+			} else {
+				out.Bits[i] = c.Const(0)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			keep(c.NeInt(cols[i], cols[j]))
+			d := c.MkInt(w, uint64(j-i))
+			ci, cj := ext(cols[i]), ext(cols[j])
+			si := c.AddInt(ci, d)
+			si.Bits = si.Bits[:w+1]
+			eq1 := c.EqInt(si, cj)
+			keep(c.Not(eq1))
+			c.Free(eq1)
+			sj := c.AddInt(cj, d)
+			eq2 := c.EqInt(sj, ci)
+			keep(c.Not(eq2))
+			c.Free(eq2)
+			c.FreeInt(si)
+			c.FreeInt(sj)
+			c.FreeInt(ci)
+			c.FreeInt(cj)
+		}
+	}
+	// Pin any unused entanglement channel sets to 0, so each board appears
+	// exactly once (otherwise every solution is duplicated 2^unused times
+	// across the idle channels).
+	for k := n * colBits; k < ways; k++ {
+		h := c.Had(k)
+		nh := c.Not(h)
+		keep(nh)
+		c.Free(h)
+	}
+	if c.Err() != nil {
+		return nil, c.Err()
+	}
+	eReg := c.Reg(&ok)
+	qatInsts := c.InstCount()
+
+	var tail strings.Builder
+	tail.WriteString("; measurement tail\n")
+	fmt.Fprintf(&tail, "lex $2,0\npop $2,@%d\n", eReg)
+	fmt.Fprintf(&tail, "lex $1,0\nnext $1,@%d\n", eReg)
+	tail.WriteString("lex $0,0\nsys\n")
+
+	return &NQueensResult{
+		Asm:      c.Asm() + tail.String(),
+		EReg:     eReg,
+		ColBits:  colBits,
+		QatInsts: qatInsts,
+		RegsUsed: c.RegsUsed(),
+	}, c.Err()
+}

@@ -1,0 +1,573 @@
+// Package core implements the parallel bit pattern (PBP) programming model
+// that the Tangled/Qat system executes: pbits (pattern bits), pattern
+// integers (the paper's "pint" word-level layer, Figure 9), entangled
+// Hadamard initialization over disjoint channel sets, gate-level word
+// arithmetic, and non-destructive measurement.
+//
+// The model is expressed over an abstract Machine so the same programs run
+// on two substrates:
+//
+//   - the direct AoB backend (package aob), which is what the Qat
+//     coprocessor implements in hardware for up to 16-way entanglement, and
+//   - the RE backend (package re), the run-length compressed representation
+//     the paper prescribes for higher entanglement.
+//
+// The semantics of every operation are identical across backends; the tests
+// exploit this by diffing the two.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"tangled/internal/aob"
+	"tangled/internal/re"
+	"tangled/internal/rex"
+)
+
+// Machine abstracts a PBP execution substrate over pbit values of type V.
+// All values produced by one Machine share its entanglement geometry.
+type Machine[V any] interface {
+	// Ways returns the entanglement degree E.
+	Ways() int
+	// Channels returns 2^E.
+	Channels() uint64
+	// Zero returns the pbit that is 0 in every channel.
+	Zero() V
+	// One returns the pbit that is 1 in every channel.
+	One() V
+	// Had returns the k-th standard Hadamard pattern (bit k of the channel
+	// number), for 0 <= k < Ways.
+	Had(k int) V
+	// And, Or, Xor, Not are channel-wise logic.
+	And(a, b V) V
+	Or(a, b V) V
+	Xor(a, b V) V
+	Not(a V) V
+	// Get samples channel ch non-destructively.
+	Get(a V, ch uint64) bool
+	// Next returns the lowest channel > ch holding a 1, or 0 if none.
+	Next(a V, ch uint64) uint64
+	// PopAfter counts 1 channels strictly above ch.
+	PopAfter(a V, ch uint64) uint64
+	// Pop counts all 1 channels.
+	Pop(a V) uint64
+	// Equal reports channel-wise equality (test/diagnostic aid).
+	Equal(a, b V) bool
+}
+
+// AoBMachine executes the PBP model on uncompressed aob.Vector values —
+// the direct analog of Qat's register file contents.
+type AoBMachine struct {
+	ways int
+}
+
+// NewAoB returns an AoB-backed machine of the given entanglement degree.
+func NewAoB(ways int) AoBMachine { return AoBMachine{ways: ways} }
+
+func (m AoBMachine) Ways() int         { return m.ways }
+func (m AoBMachine) Channels() uint64  { return uint64(1) << uint(m.ways) }
+func (m AoBMachine) Zero() *aob.Vector { return aob.New(m.ways) }
+func (m AoBMachine) One() *aob.Vector  { return aob.OneVector(m.ways) }
+func (m AoBMachine) Had(k int) *aob.Vector {
+	return aob.HadVector(m.ways, k)
+}
+func (m AoBMachine) And(a, b *aob.Vector) *aob.Vector {
+	d := aob.New(m.ways)
+	d.And(a, b)
+	return d
+}
+func (m AoBMachine) Or(a, b *aob.Vector) *aob.Vector {
+	d := aob.New(m.ways)
+	d.Or(a, b)
+	return d
+}
+func (m AoBMachine) Xor(a, b *aob.Vector) *aob.Vector {
+	d := aob.New(m.ways)
+	d.Xor(a, b)
+	return d
+}
+func (m AoBMachine) Not(a *aob.Vector) *aob.Vector {
+	d := a.Clone()
+	d.Not()
+	return d
+}
+func (m AoBMachine) Get(a *aob.Vector, ch uint64) bool        { return a.Get(ch) }
+func (m AoBMachine) Next(a *aob.Vector, ch uint64) uint64     { return a.Next(ch) }
+func (m AoBMachine) PopAfter(a *aob.Vector, ch uint64) uint64 { return a.PopAfter(ch) }
+func (m AoBMachine) Pop(a *aob.Vector) uint64                 { return a.Pop() }
+func (m AoBMachine) Equal(a, b *aob.Vector) bool              { return a.Equal(b) }
+
+var _ Machine[*aob.Vector] = AoBMachine{}
+
+// REMachine executes the PBP model on run-length compressed re.Pattern
+// values, enabling entanglement degrees far beyond AoB's practical limit.
+type REMachine struct {
+	sp *re.Space
+}
+
+// NewRE returns an RE-backed machine over the given pattern space.
+func NewRE(sp *re.Space) REMachine { return REMachine{sp: sp} }
+
+func (m REMachine) Ways() int                                { return m.sp.Ways() }
+func (m REMachine) Channels() uint64                         { return m.sp.Channels() }
+func (m REMachine) Zero() *re.Pattern                        { return m.sp.Zero() }
+func (m REMachine) One() *re.Pattern                         { return m.sp.One() }
+func (m REMachine) Had(k int) *re.Pattern                    { return m.sp.Had(k) }
+func (m REMachine) And(a, b *re.Pattern) *re.Pattern         { return a.And(b) }
+func (m REMachine) Or(a, b *re.Pattern) *re.Pattern          { return a.Or(b) }
+func (m REMachine) Xor(a, b *re.Pattern) *re.Pattern         { return a.Xor(b) }
+func (m REMachine) Not(a *re.Pattern) *re.Pattern            { return a.Not() }
+func (m REMachine) Get(a *re.Pattern, ch uint64) bool        { return a.Get(ch) }
+func (m REMachine) Next(a *re.Pattern, ch uint64) uint64     { return a.Next(ch) }
+func (m REMachine) PopAfter(a *re.Pattern, ch uint64) uint64 { return a.PopAfter(ch) }
+func (m REMachine) Pop(a *re.Pattern) uint64                 { return a.Pop() }
+func (m REMachine) Equal(a, b *re.Pattern) bool              { return a.Equal(b) }
+
+var _ Machine[*re.Pattern] = REMachine{}
+
+// RexMachine executes the PBP model on periodic (nested) run-length
+// compressed rex.Pattern values — the representation that keeps gate-level
+// computations exponentially compressed even when their period is small.
+type RexMachine struct {
+	sp *rex.Space
+}
+
+// NewRex returns a machine over a periodic-RLE pattern space.
+func NewRex(sp *rex.Space) RexMachine { return RexMachine{sp: sp} }
+
+func (m RexMachine) Ways() int                             { return m.sp.Ways() }
+func (m RexMachine) Channels() uint64                      { return m.sp.Channels() }
+func (m RexMachine) Zero() *rex.Pattern                    { return m.sp.Zero() }
+func (m RexMachine) One() *rex.Pattern                     { return m.sp.One() }
+func (m RexMachine) Had(k int) *rex.Pattern                { return m.sp.Had(k) }
+func (m RexMachine) And(a, b *rex.Pattern) *rex.Pattern    { return a.And(b) }
+func (m RexMachine) Or(a, b *rex.Pattern) *rex.Pattern     { return a.Or(b) }
+func (m RexMachine) Xor(a, b *rex.Pattern) *rex.Pattern    { return a.Xor(b) }
+func (m RexMachine) Not(a *rex.Pattern) *rex.Pattern       { return a.Not() }
+func (m RexMachine) Get(a *rex.Pattern, ch uint64) bool    { return a.Get(ch) }
+func (m RexMachine) Next(a *rex.Pattern, ch uint64) uint64 { return a.Next(ch) }
+func (m RexMachine) PopAfter(a *rex.Pattern, ch uint64) uint64 {
+	return a.PopAfter(ch)
+}
+func (m RexMachine) Pop(a *rex.Pattern) uint64    { return a.Pop() }
+func (m RexMachine) Equal(a, b *rex.Pattern) bool { return a.Equal(b) }
+
+var _ Machine[*rex.Pattern] = RexMachine{}
+
+// Pint is a pattern integer: a fixed-width unsigned integer whose bits are
+// pbits, least significant first. All bits share one Machine, so a Pint is
+// simultaneously every value its channels encode — the paper's entangled
+// superposed word.
+type Pint[V any] struct {
+	m    Machine[V]
+	bits []V
+}
+
+// Width returns the number of pbits.
+func (p Pint[V]) Width() int { return len(p.bits) }
+
+// Bit returns the i-th pbit (LSB = 0).
+func (p Pint[V]) Bit(i int) V { return p.bits[i] }
+
+// Machine returns the executing substrate.
+func (p Pint[V]) Machine() Machine[V] { return p.m }
+
+// Mk builds the width-bit constant pint holding value in every channel —
+// the paper's pint_mk.
+func Mk[V any](m Machine[V], width int, value uint64) Pint[V] {
+	checkWidth(width)
+	bits := make([]V, width)
+	for i := range bits {
+		if (value>>uint(i))&1 == 1 {
+			bits[i] = m.One()
+		} else {
+			bits[i] = m.Zero()
+		}
+	}
+	return Pint[V]{m: m, bits: bits}
+}
+
+func checkWidth(width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("core: pint width %d out of range [0,64]", width))
+	}
+}
+
+// H builds a width-bit Hadamard-superposed pint — the paper's pint_h. The
+// set bits of mask name the entanglement channel sets used, lowest first:
+// H(m, 4, 0x0F) builds a 4-bit value superposing 0..15 over channel sets
+// 0..3, while H(m, 4, 0xF0) superposes the same values over channel sets
+// 4..7. Using disjoint masks for two pints makes them independently
+// entangled — multiplying them then explores the full cross product, which
+// is the trick at the heart of the Figure 9 factoring example.
+func H[V any](m Machine[V], width int, mask uint64) Pint[V] {
+	checkWidth(width)
+	if bits.OnesCount64(mask) != width {
+		panic(fmt.Sprintf("core: H mask %#x names %d channel sets, want %d",
+			mask, bits.OnesCount64(mask), width))
+	}
+	out := make([]V, 0, width)
+	for k := 0; k < 64 && len(out) < width; k++ {
+		if (mask>>uint(k))&1 == 1 {
+			if k >= m.Ways() {
+				panic(fmt.Sprintf("core: H channel set %d exceeds machine ways %d", k, m.Ways()))
+			}
+			out = append(out, m.Had(k))
+		}
+	}
+	return Pint[V]{m: m, bits: out}
+}
+
+// FromBits wraps existing pbits (LSB first) as a Pint.
+func FromBits[V any](m Machine[V], b []V) Pint[V] {
+	cp := make([]V, len(b))
+	copy(cp, b)
+	return Pint[V]{m: m, bits: cp}
+}
+
+// Extend returns p widened to width bits with zero pbits appended.
+func (p Pint[V]) Extend(width int) Pint[V] {
+	checkWidth(width)
+	if width < len(p.bits) {
+		panic("core: Extend would truncate; use Truncate")
+	}
+	out := make([]V, width)
+	copy(out, p.bits)
+	for i := len(p.bits); i < width; i++ {
+		out[i] = p.m.Zero()
+	}
+	return Pint[V]{m: p.m, bits: out}
+}
+
+// Truncate returns the low width bits of p.
+func (p Pint[V]) Truncate(width int) Pint[V] {
+	checkWidth(width)
+	if width > len(p.bits) {
+		panic("core: Truncate would widen; use Extend")
+	}
+	out := make([]V, width)
+	copy(out, p.bits[:width])
+	return Pint[V]{m: p.m, bits: out}
+}
+
+// align zero-extends the narrower operand; both results have equal width.
+func (p Pint[V]) align(q Pint[V]) (Pint[V], Pint[V]) {
+	if p.m != q.m {
+		panic("core: pints from different machines")
+	}
+	w := len(p.bits)
+	if len(q.bits) > w {
+		w = len(q.bits)
+	}
+	return p.Extend(w), q.Extend(w)
+}
+
+// And returns the bitwise AND of two pints.
+func (p Pint[V]) And(q Pint[V]) Pint[V] { return p.zip(q, p.m.And) }
+
+// Or returns the bitwise OR of two pints.
+func (p Pint[V]) Or(q Pint[V]) Pint[V] { return p.zip(q, p.m.Or) }
+
+// Xor returns the bitwise XOR of two pints.
+func (p Pint[V]) Xor(q Pint[V]) Pint[V] { return p.zip(q, p.m.Xor) }
+
+func (p Pint[V]) zip(q Pint[V], f func(a, b V) V) Pint[V] {
+	a, b := p.align(q)
+	out := make([]V, len(a.bits))
+	for i := range out {
+		out[i] = f(a.bits[i], b.bits[i])
+	}
+	return Pint[V]{m: p.m, bits: out}
+}
+
+// Not returns the bitwise complement of p (same width).
+func (p Pint[V]) Not() Pint[V] {
+	out := make([]V, len(p.bits))
+	for i := range out {
+		out[i] = p.m.Not(p.bits[i])
+	}
+	return Pint[V]{m: p.m, bits: out}
+}
+
+// Add returns p + q, one bit wider than the wider operand (the carry out).
+// It is a textbook ripple-carry adder built from channel-wise gates — PBP
+// arithmetic is word-level arithmetic performed on every channel at once.
+func (p Pint[V]) Add(q Pint[V]) Pint[V] {
+	a, b := p.align(q)
+	m := p.m
+	w := len(a.bits)
+	out := make([]V, w+1)
+	carry := m.Zero()
+	for i := 0; i < w; i++ {
+		axb := m.Xor(a.bits[i], b.bits[i])
+		out[i] = m.Xor(axb, carry)
+		carry = m.Or(m.And(a.bits[i], b.bits[i]), m.And(carry, axb))
+	}
+	out[w] = carry
+	return Pint[V]{m: m, bits: out}
+}
+
+// AddMod returns (p + q) mod 2^width where width is the wider operand's
+// width — the fixed-width wraparound flavor.
+func (p Pint[V]) AddMod(q Pint[V]) Pint[V] {
+	a, _ := p.align(q)
+	return p.Add(q).Truncate(len(a.bits))
+}
+
+// Mul returns p * q at full width (p.Width + q.Width bits), via shift-add
+// of gated partial products — the paper's pint_mul.
+func (p Pint[V]) Mul(q Pint[V]) Pint[V] {
+	if p.m != q.m {
+		panic("core: pints from different machines")
+	}
+	m := p.m
+	wp, wq := len(p.bits), len(q.bits)
+	acc := Mk(m, wp+wq, 0)
+	for j := 0; j < wq; j++ {
+		// Partial product: p AND q[j], shifted left j.
+		pp := make([]V, wp+wq)
+		for i := 0; i < j; i++ {
+			pp[i] = m.Zero()
+		}
+		for i := 0; i < wp; i++ {
+			pp[i+j] = m.And(p.bits[i], q.bits[j])
+		}
+		for i := j + wp; i < wp+wq; i++ {
+			pp[i] = m.Zero()
+		}
+		acc = acc.Add(Pint[V]{m: m, bits: pp}).Truncate(wp + wq)
+	}
+	return acc
+}
+
+// Sub returns p - q at the wider operand's width, wrapping modulo 2^width
+// (two's complement), built as p + NOT q + 1 on the ripple-carry chain.
+func (p Pint[V]) Sub(q Pint[V]) Pint[V] {
+	a, b := p.align(q)
+	m := p.m
+	w := len(a.bits)
+	out := make([]V, w)
+	carry := m.One() // +1 of the two's complement
+	for i := 0; i < w; i++ {
+		nb := m.Not(b.bits[i])
+		axb := m.Xor(a.bits[i], nb)
+		out[i] = m.Xor(axb, carry)
+		carry = m.Or(m.And(a.bits[i], nb), m.And(carry, axb))
+	}
+	return Pint[V]{m: m, bits: out}
+}
+
+// Neg returns the two's complement negation of p at p's width.
+func (p Pint[V]) Neg() Pint[V] {
+	return Mk(p.m, len(p.bits), 0).Sub(p)
+}
+
+// Dec returns p - 1 at p's width (wrapping).
+func (p Pint[V]) Dec() Pint[V] {
+	return p.Sub(Mk(p.m, len(p.bits), 1))
+}
+
+// Inc returns p + 1 at p's width (wrapping).
+func (p Pint[V]) Inc() Pint[V] {
+	return p.AddMod(Mk(p.m, len(p.bits), 1))
+}
+
+// IsZero returns the pbit that is 1 where p encodes zero.
+func (p Pint[V]) IsZero() V {
+	return p.Eq(Mk(p.m, len(p.bits), 0))
+}
+
+// Eq returns the single pbit that is 1 exactly in the channels where p and
+// q encode the same value — the paper's pint_eq. Differing widths compare
+// with zero extension.
+func (p Pint[V]) Eq(q Pint[V]) V {
+	a, b := p.align(q)
+	m := p.m
+	acc := m.One()
+	for i := range a.bits {
+		eq := m.Not(m.Xor(a.bits[i], b.bits[i]))
+		acc = m.And(acc, eq)
+	}
+	return acc
+}
+
+// Ne returns the pbit 1 where the values differ.
+func (p Pint[V]) Ne(q Pint[V]) V { return p.m.Not(p.Eq(q)) }
+
+// Lt returns the pbit 1 in channels where p < q as unsigned integers,
+// computed with a ripple borrow chain.
+func (p Pint[V]) Lt(q Pint[V]) V {
+	a, b := p.align(q)
+	m := p.m
+	borrow := m.Zero()
+	for i := range a.bits {
+		na := m.Not(a.bits[i])
+		xnor := m.Not(m.Xor(a.bits[i], b.bits[i]))
+		borrow = m.Or(m.And(na, b.bits[i]), m.And(xnor, borrow))
+	}
+	return borrow
+}
+
+// Le returns the pbit p <= q.
+func (p Pint[V]) Le(q Pint[V]) V { return p.m.Not(q.Lt(p)) }
+
+// Gt returns the pbit p > q.
+func (p Pint[V]) Gt(q Pint[V]) V { return q.Lt(p) }
+
+// Ge returns the pbit p >= q.
+func (p Pint[V]) Ge(q Pint[V]) V { return p.m.Not(p.Lt(q)) }
+
+// ShiftLeft returns p << n, widened by n bits.
+func (p Pint[V]) ShiftLeft(n int) Pint[V] {
+	out := make([]V, len(p.bits)+n)
+	for i := 0; i < n; i++ {
+		out[i] = p.m.Zero()
+	}
+	copy(out[n:], p.bits)
+	return Pint[V]{m: p.m, bits: out}
+}
+
+// Mux returns, channel-wise, q where sel is 1 and p where sel is 0 — the
+// cswap-as-multiplexer view from the paper.
+func (p Pint[V]) Mux(q Pint[V], sel V) Pint[V] {
+	a, b := p.align(q)
+	m := p.m
+	ns := m.Not(sel)
+	out := make([]V, len(a.bits))
+	for i := range out {
+		out[i] = m.Or(m.And(a.bits[i], ns), m.And(b.bits[i], sel))
+	}
+	return Pint[V]{m: m, bits: out}
+}
+
+// ValueAt reads the integer encoded at entanglement channel ch — a
+// non-destructive word-level measurement of one channel.
+func (p Pint[V]) ValueAt(ch uint64) uint64 {
+	var v uint64
+	for i, b := range p.bits {
+		if p.m.Get(b, ch) {
+			v |= uint64(1) << uint(i)
+		}
+	}
+	return v
+}
+
+// Measurement is the result of a full non-destructive measurement: each
+// distinct value present in the superposition with its channel count
+// (probability in parts per 2^E).
+type Measurement struct {
+	Value uint64
+	Count uint64
+}
+
+// MeasureAll enumerates every channel and tallies the distinct values —
+// the paper's pint_measure, which "returns all values in the entangled
+// superposition". Cost is O(2^E * width); intended for AoB-scale machines.
+// Results are sorted by value.
+func (p Pint[V]) MeasureAll() []Measurement {
+	counts := map[uint64]uint64{}
+	n := p.m.Channels()
+	for ch := uint64(0); ch < n; ch++ {
+		counts[p.ValueAt(ch)]++
+	}
+	out := make([]Measurement, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, Measurement{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// Values returns just the sorted distinct values from MeasureAll.
+func (p Pint[V]) Values() []uint64 {
+	ms := p.MeasureAll()
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Value
+	}
+	return out
+}
+
+// representable reports whether v fits in p's width (a wider v can never
+// occur, and must not be silently truncated into a false match).
+func (p Pint[V]) representable(v uint64) bool {
+	return len(p.bits) >= 64 || v < uint64(1)<<uint(len(p.bits))
+}
+
+// Possible reports whether value v occurs anywhere in the superposition,
+// without enumerating channels: it builds the equality indicator pbit and
+// applies the ANY reduction — O(width) gate ops regardless of 2^E.
+func (p Pint[V]) Possible(v uint64) bool {
+	if !p.representable(v) {
+		return false
+	}
+	ind := p.Eq(Mk(p.m, len(p.bits), v))
+	return p.m.Next(ind, 0) != 0 || p.m.Get(ind, 0)
+}
+
+// Certain reports whether every channel encodes exactly v (ALL reduction).
+func (p Pint[V]) Certain(v uint64) bool {
+	if !p.representable(v) {
+		return false
+	}
+	ind := p.Eq(Mk(p.m, len(p.bits), v))
+	return !anyV(p.m, p.m.Not(ind))
+}
+
+// Prob returns the probability of value v in parts per 2^E, using the POP
+// reduction on the indicator pbit.
+func (p Pint[V]) Prob(v uint64) uint64 {
+	if !p.representable(v) {
+		return 0
+	}
+	ind := p.Eq(Mk(p.m, len(p.bits), v))
+	var n uint64
+	if p.m.Get(ind, 0) {
+		n = 1
+	}
+	return n + p.m.PopAfter(ind, 0)
+}
+
+func anyV[V any](m Machine[V], a V) bool {
+	return m.Next(a, 0) != 0 || m.Get(a, 0)
+}
+
+// Any exposes the ANY reduction on a raw pbit.
+func Any[V any](m Machine[V], a V) bool { return anyV(m, a) }
+
+// All exposes the ALL reduction on a raw pbit, composed per the paper as
+// NOT(ANY(NOT x)).
+func All[V any](m Machine[V], a V) bool { return !anyV(m, m.Not(a)) }
+
+// Sample reads the value at a uniformly random entanglement channel — the
+// closest PBP analog of a quantum measurement, which returns one
+// probability-weighted outcome per run. Unlike the quantum case the
+// superposition survives (Sample may be called forever), and unlike the
+// quantum case this is the WEAK way to use the model: MeasureAll,
+// Possible, Prob and ChannelsWhere extract complete answers that a
+// quantum computer fundamentally cannot ("there is no number of runs
+// sufficient to guarantee that all values in the entangled superposition
+// have been seen" — Section 2.7).
+func (p Pint[V]) Sample(rng *rand.Rand) uint64 {
+	ch := rng.Uint64() & (p.m.Channels() - 1)
+	return p.ValueAt(ch)
+}
+
+// ChannelsWhere iterates the channels where pbit ind is 1, calling f with
+// each channel number in increasing order until f returns false. It uses
+// meas(0) plus the next-chaining idiom from the paper.
+func ChannelsWhere[V any](m Machine[V], ind V, f func(ch uint64) bool) {
+	if m.Get(ind, 0) {
+		if !f(0) {
+			return
+		}
+	}
+	for ch := m.Next(ind, 0); ch != 0; ch = m.Next(ind, ch) {
+		if !f(ch) {
+			return
+		}
+	}
+}

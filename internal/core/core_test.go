@@ -1,0 +1,767 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tangled/internal/aob"
+	"tangled/internal/re"
+	"tangled/internal/rex"
+)
+
+// The central correctness property of PBP word arithmetic: operations on
+// pints act channel-wise, so reading any channel of the result equals doing
+// ordinary integer arithmetic on that channel's operand values. These
+// helpers check that homomorphism for a machine.
+
+func testAddHomomorphism[V any](t *testing.T, m Machine[V]) {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	w := m.Ways()
+	wa := w / 2
+	wb := w - wa
+	if wa == 0 || wb == 0 {
+		t.Skip("machine too small")
+	}
+	a := H(m, wa, uint64(1)<<uint(wa)-1)
+	b := H(m, wb, (uint64(1)<<uint(wb)-1)<<uint(wa))
+	sum := a.Add(b)
+	for i := 0; i < 200; i++ {
+		ch := r.Uint64() & (m.Channels() - 1)
+		va, vb := a.ValueAt(ch), b.ValueAt(ch)
+		if got := sum.ValueAt(ch); got != va+vb {
+			t.Fatalf("ch %d: %d + %d = %d", ch, va, vb, got)
+		}
+	}
+}
+
+func testMulHomomorphism[V any](t *testing.T, m Machine[V]) {
+	t.Helper()
+	r := rand.New(rand.NewSource(12))
+	w := m.Ways()
+	wa := w / 2
+	wb := w - wa
+	if wa == 0 || wb == 0 {
+		t.Skip("machine too small")
+	}
+	a := H(m, wa, uint64(1)<<uint(wa)-1)
+	b := H(m, wb, (uint64(1)<<uint(wb)-1)<<uint(wa))
+	prod := a.Mul(b)
+	for i := 0; i < 200; i++ {
+		ch := r.Uint64() & (m.Channels() - 1)
+		va, vb := a.ValueAt(ch), b.ValueAt(ch)
+		if got := prod.ValueAt(ch); got != va*vb {
+			t.Fatalf("ch %d: %d * %d = %d", ch, va, vb, got)
+		}
+	}
+}
+
+func TestAddHomomorphismAoB(t *testing.T) { testAddHomomorphism(t, NewAoB(8)) }
+func TestMulHomomorphismAoB(t *testing.T) { testMulHomomorphism(t, NewAoB(8)) }
+func TestAddHomomorphismRE(t *testing.T) {
+	testAddHomomorphism(t, NewRE(re.MustSpace(12, 6)))
+}
+func TestMulHomomorphismRE(t *testing.T) {
+	testMulHomomorphism(t, NewRE(re.MustSpace(12, 6)))
+}
+
+func TestMkEncodesConstants(t *testing.T) {
+	m := NewAoB(4)
+	for _, v := range []uint64{0, 1, 5, 15, 255} {
+		p := Mk(m, 8, v)
+		if !p.Certain(v) {
+			t.Errorf("Mk(%d) not certain", v)
+		}
+		if p.ValueAt(0) != v || p.ValueAt(7) != v {
+			t.Errorf("Mk(%d) reads %d", v, p.ValueAt(0))
+		}
+		vals := p.Values()
+		if len(vals) != 1 || vals[0] != v {
+			t.Errorf("Mk(%d) values = %v", v, vals)
+		}
+	}
+}
+
+func TestHSuperposesAllValues(t *testing.T) {
+	m := NewAoB(6)
+	p := H(m, 6, 0x3F)
+	ms := p.MeasureAll()
+	if len(ms) != 64 {
+		t.Fatalf("6-bit H has %d distinct values, want 64", len(ms))
+	}
+	for i, meas := range ms {
+		if meas.Value != uint64(i) || meas.Count != 1 {
+			t.Fatalf("H measurement %d = %+v", i, meas)
+		}
+	}
+}
+
+func TestHDisjointMasksIndependent(t *testing.T) {
+	// Two pints on disjoint channel sets explore the full cross product;
+	// the same mask twice yields only the diagonal (the paper's "squares"
+	// warning).
+	m := NewAoB(8)
+	b := H(m, 4, 0x0F)
+	c := H(m, 4, 0xF0)
+	prod := b.Mul(c)
+	if !prod.Possible(6) { // 2*3 needs independent operands
+		t.Error("cross product missing 6")
+	}
+	sq := b.Mul(b)
+	vals := sq.Values()
+	for _, v := range vals {
+		root := uint64(0)
+		for root*root < v {
+			root++
+		}
+		if root*root != v {
+			t.Fatalf("b*b produced non-square %d", v)
+		}
+	}
+	if len(vals) != 16 {
+		t.Fatalf("b*b has %d values, want 16 squares", len(vals))
+	}
+}
+
+func TestHMaskValidation(t *testing.T) {
+	m := NewAoB(4)
+	for _, bad := range []struct {
+		w    int
+		mask uint64
+	}{{4, 0x7}, {2, 0xF}, {1, 0x10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("H(%d, %#x) did not panic", bad.w, bad.mask)
+				}
+			}()
+			H(m, bad.w, bad.mask)
+		}()
+	}
+}
+
+// TestFig9Factor15WordLevel reproduces Figure 9 exactly: word-level prime
+// factoring of 15 with the pint API; measurement prints 0, 1, 3, 5, 15.
+func TestFig9Factor15WordLevel(t *testing.T) {
+	run := func(t *testing.T, m8 interface{}) {
+		switch m := m8.(type) {
+		case AoBMachine:
+			checkFig9(t, m)
+		case REMachine:
+			checkFig9(t, m)
+		}
+	}
+	t.Run("AoB", func(t *testing.T) { run(t, NewAoB(8)) })
+	t.Run("RE", func(t *testing.T) { run(t, NewRE(re.MustSpace(8, 4))) })
+}
+
+func checkFig9[V any](t *testing.T, m Machine[V]) {
+	t.Helper()
+	a := Mk(m, 4, 15)  // a = 15
+	b := H(m, 4, 0x0F) // b = 0..15 over channel sets 0-3
+	c := H(m, 4, 0xF0) // c = 0..15 over channel sets 4-7
+	d := b.Mul(c)      // d = b*c, 8-way entangled
+	e := d.Eq(a)       // e = (d == 15)
+	ep := FromBits(m, []V{e})
+	f := ep.Mul(b) // zero the non-factors
+	got := f.Values()
+	want := []uint64{0, 1, 3, 5, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("measure(f) = %v, want %v", got, want)
+	}
+	// The paper's channel-number shortcut: each 1 channel of e encodes a
+	// factor pair (ch%16, ch/16).
+	var pairs [][2]uint64
+	ChannelsWhere(m, e, func(ch uint64) bool {
+		pairs = append(pairs, [2]uint64{ch % 16, ch / 16})
+		return true
+	})
+	if len(pairs) != 4 {
+		t.Fatalf("found %d factorizations, want 4: %v", len(pairs), pairs)
+	}
+	for _, p := range pairs {
+		if p[0]*p[1] != 15 {
+			t.Fatalf("bogus factorization %v", p)
+		}
+	}
+}
+
+// TestX221Factor221 runs the original (not scaled-down) problem from the
+// LCPC'20 prototype on the full 16-way geometry Qat implements: factor 221
+// with two 8-bit Hadamard operands.
+func TestX221Factor221(t *testing.T) {
+	m := NewAoB(16)
+	b := H(m, 8, 0x00FF)
+	c := H(m, 8, 0xFF00)
+	d := b.Mul(c)
+	e := d.Eq(Mk(m, 16, 221))
+	var factors []uint64
+	ChannelsWhere(m, e, func(ch uint64) bool {
+		factors = append(factors, ch%256)
+		return true
+	})
+	// 221 = 13*17: factor pairs (1,221 — no, 221 needs 8 bits... 221<256 ok),
+	// (13,17), (17,13), (221,1).
+	want := map[uint64]bool{1: true, 13: true, 17: true, 221: true}
+	if len(factors) != 4 {
+		t.Fatalf("found %d factorizations: %v", len(factors), factors)
+	}
+	for _, f := range factors {
+		if !want[f] {
+			t.Fatalf("unexpected factor %d", f)
+		}
+	}
+}
+
+// TestX221Factor221RE repeats the experiment on the compressed backend with
+// chunk size well below the problem size, proving the RE path can stand in
+// for hardware AoB.
+func TestX221Factor221RE(t *testing.T) {
+	m := NewRE(re.MustSpace(16, 10))
+	b := H(m, 8, 0x00FF)
+	c := H(m, 8, 0xFF00)
+	e := b.Mul(c).Eq(Mk(m, 16, 221))
+	if !Any(m, e) {
+		t.Fatal("no factorization channels found")
+	}
+	var factors []uint64
+	ChannelsWhere(m, e, func(ch uint64) bool {
+		factors = append(factors, ch%256)
+		return true
+	})
+	if len(factors) != 4 {
+		t.Fatalf("found %d factorizations: %v", len(factors), factors)
+	}
+}
+
+func TestEqNeAcrossWidths(t *testing.T) {
+	m := NewAoB(4)
+	a := Mk(m, 4, 9)
+	b := Mk(m, 8, 9)
+	if !All(m, a.Eq(b)) {
+		t.Error("9 (4-bit) != 9 (8-bit)")
+	}
+	c := Mk(m, 8, 9+16)
+	if Any(m, a.Eq(c)) {
+		t.Error("9 == 25")
+	}
+	if !All(m, a.Ne(c)) {
+		t.Error("Ne failed")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	m := NewAoB(6)
+	x := H(m, 6, 0x3F)
+	for _, k := range []uint64{0, 1, 31, 32, 63} {
+		kk := Mk(m, 6, k)
+		lt, le, gt, ge := x.Lt(kk), x.Le(kk), x.Gt(kk), x.Ge(kk)
+		for ch := uint64(0); ch < 64; ch++ {
+			v := x.ValueAt(ch)
+			if m.Get(lt, ch) != (v < k) {
+				t.Fatalf("lt(%d,%d) wrong", v, k)
+			}
+			if m.Get(le, ch) != (v <= k) {
+				t.Fatalf("le(%d,%d) wrong", v, k)
+			}
+			if m.Get(gt, ch) != (v > k) {
+				t.Fatalf("gt(%d,%d) wrong", v, k)
+			}
+			if m.Get(ge, ch) != (v >= k) {
+				t.Fatalf("ge(%d,%d) wrong", v, k)
+			}
+		}
+	}
+}
+
+func TestConstantArithmeticProperty(t *testing.T) {
+	m := NewAoB(4)
+	f := func(a, b uint8) bool {
+		pa, pb := Mk(m, 8, uint64(a)), Mk(m, 8, uint64(b))
+		sum := pa.Add(pb)
+		if !sum.Certain(uint64(a) + uint64(b)) {
+			return false
+		}
+		prod := pa.Mul(pb)
+		return prod.Certain(uint64(a) * uint64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogicOpsOnPints(t *testing.T) {
+	m := NewAoB(4)
+	f := func(a, b uint8) bool {
+		pa, pb := Mk(m, 8, uint64(a)), Mk(m, 8, uint64(b))
+		return pa.And(pb).Certain(uint64(a&b)) &&
+			pa.Or(pb).Certain(uint64(a|b)) &&
+			pa.Xor(pb).Certain(uint64(a^b)) &&
+			pa.Not().Certain(uint64(^a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuxSelectsChannelwise(t *testing.T) {
+	m := NewAoB(4)
+	a := Mk(m, 4, 3)
+	b := Mk(m, 4, 12)
+	sel := m.Had(2) // half the channels
+	mux := a.Mux(b, sel)
+	for ch := uint64(0); ch < 16; ch++ {
+		want := uint64(3)
+		if m.Get(sel, ch) {
+			want = 12
+		}
+		if mux.ValueAt(ch) != want {
+			t.Fatalf("mux ch %d = %d want %d", ch, mux.ValueAt(ch), want)
+		}
+	}
+}
+
+func TestShiftLeft(t *testing.T) {
+	m := NewAoB(4)
+	p := Mk(m, 4, 5).ShiftLeft(3)
+	if p.Width() != 7 || !p.Certain(40) {
+		t.Fatalf("5<<3: width=%d", p.Width())
+	}
+}
+
+func TestExtendTruncate(t *testing.T) {
+	m := NewAoB(4)
+	p := Mk(m, 4, 9)
+	if !p.Extend(8).Certain(9) {
+		t.Error("extend changed value")
+	}
+	if !p.Truncate(3).Certain(1) { // 9 = 0b1001 -> low 3 bits = 001
+		t.Error("truncate wrong")
+	}
+	func() {
+		defer func() { recover() }()
+		p.Extend(2)
+		t.Error("Extend shrink did not panic")
+	}()
+}
+
+func TestAddModWraps(t *testing.T) {
+	m := NewAoB(4)
+	p := Mk(m, 4, 12).AddMod(Mk(m, 4, 7))
+	if !p.Certain(3) { // 19 mod 16
+		t.Errorf("12+7 mod 16 = %v", p.Values())
+	}
+	if p.Width() != 4 {
+		t.Errorf("width %d", p.Width())
+	}
+}
+
+func TestProbMatchesMeasure(t *testing.T) {
+	m := NewAoB(8)
+	b := H(m, 4, 0x0F)
+	c := H(m, 4, 0xF0)
+	d := b.Mul(c)
+	counts := map[uint64]uint64{}
+	for _, meas := range d.MeasureAll() {
+		counts[meas.Value] = meas.Count
+	}
+	for _, v := range []uint64{0, 1, 12, 15, 100, 225, 226} {
+		if got := d.Prob(v); got != counts[v] {
+			t.Errorf("Prob(%d) = %d, want %d", v, got, counts[v])
+		}
+	}
+	// Paper example: the product superposition has 0 with high probability
+	// (any zero operand) — 31/256.
+	if d.Prob(0) != 31 {
+		t.Errorf("Prob(0) = %d, want 31", d.Prob(0))
+	}
+}
+
+func TestPossibleCertain(t *testing.T) {
+	m := NewAoB(4)
+	x := H(m, 4, 0xF)
+	if !x.Possible(7) || x.Certain(7) {
+		t.Error("H: every value possible, none certain")
+	}
+	k := Mk(m, 4, 7)
+	if !k.Possible(7) || !k.Certain(7) {
+		t.Error("constant: value both possible and certain")
+	}
+	if k.Possible(8) {
+		t.Error("constant cannot be another value")
+	}
+}
+
+func TestCrossBackendAgreement(t *testing.T) {
+	// The same program on AoB and RE machines of identical geometry must
+	// produce identical measurements.
+	ma := NewAoB(10)
+	mr := NewRE(re.MustSpace(10, 4))
+	resA := program(ma)
+	resR := program(mr)
+	if !reflect.DeepEqual(resA, resR) {
+		t.Fatalf("backends disagree:\naob: %v\nre:  %v", resA, resR)
+	}
+}
+
+func program[V any](m Machine[V]) []Measurement {
+	x := H(m, 5, 0x1F)
+	y := H(m, 5, 0x3E0)
+	s := x.Add(y)
+	masked := s.And(Mk(m, 6, 0x15))
+	return masked.MeasureAll()
+}
+
+func TestChannelsWhereEarlyStop(t *testing.T) {
+	m := NewAoB(6)
+	ind := m.One()
+	var seen int
+	ChannelsWhere(m, ind, func(ch uint64) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Fatalf("early stop visited %d channels", seen)
+	}
+}
+
+func TestAnyAllReductions(t *testing.T) {
+	m := NewAoB(6)
+	if Any(m, m.Zero()) || !Any(m, m.One()) || !Any(m, m.Had(3)) {
+		t.Error("Any wrong")
+	}
+	if All(m, m.Zero()) || !All(m, m.One()) || All(m, m.Had(3)) {
+		t.Error("All wrong")
+	}
+	// A 1 only in channel 0 must be visible to Any (next alone misses it).
+	v := aob.New(6)
+	v.Set(0, true)
+	if !Any[*aob.Vector](NewAoB(6), v) {
+		t.Error("Any missed channel 0")
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	m := NewAoB(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("width 65 did not panic")
+		}
+	}()
+	Mk(m, 65, 0)
+}
+
+func BenchmarkFig9WordLevel(b *testing.B) {
+	m := NewAoB(8)
+	for i := 0; i < b.N; i++ {
+		a := Mk(m, 4, 15)
+		x := H(m, 4, 0x0F)
+		y := H(m, 4, 0xF0)
+		e := x.Mul(y).Eq(a)
+		_ = m.Next(e, 0)
+	}
+}
+
+func BenchmarkX221Factor221(b *testing.B) {
+	m := NewAoB(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := H(m, 8, 0x00FF)
+		y := H(m, 8, 0xFF00)
+		e := x.Mul(y).Eq(Mk(m, 16, 221))
+		_ = m.Next(e, 0)
+	}
+}
+
+func BenchmarkX221Factor221RE(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewRE(re.MustSpace(16, 10))
+		x := H(m, 8, 0x00FF)
+		y := H(m, 8, 0xFF00)
+		e := x.Mul(y).Eq(Mk(m, 16, 221))
+		_ = m.Next(e, 0)
+	}
+}
+
+func BenchmarkMulWidthSweepAoB(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(string(rune('0'+w)), func(b *testing.B) {
+			m := NewAoB(16)
+			x := H(m, w, uint64(1)<<uint(w)-1)
+			y := H(m, w, (uint64(1)<<uint(w)-1)<<uint(w))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = x.Mul(y)
+			}
+		})
+	}
+}
+
+func TestSubNegHomomorphism(t *testing.T) {
+	m := NewAoB(8)
+	a := H(m, 4, 0x0F)
+	b := H(m, 4, 0xF0)
+	diff := a.Sub(b)
+	neg := b.Neg()
+	for ch := uint64(0); ch < 256; ch++ {
+		va, vb := a.ValueAt(ch), b.ValueAt(ch)
+		if got := diff.ValueAt(ch); got != (va-vb)&15 {
+			t.Fatalf("ch %d: %d-%d = %d", ch, va, vb, got)
+		}
+		if got := neg.ValueAt(ch); got != (-vb)&15 {
+			t.Fatalf("ch %d: -%d = %d", ch, vb, got)
+		}
+	}
+}
+
+func TestIncDec(t *testing.T) {
+	m := NewAoB(4)
+	x := H(m, 4, 0xF)
+	up, down := x.Inc(), x.Dec()
+	for ch := uint64(0); ch < 16; ch++ {
+		v := x.ValueAt(ch)
+		if up.ValueAt(ch) != (v+1)&15 {
+			t.Fatalf("inc(%d)", v)
+		}
+		if down.ValueAt(ch) != (v-1)&15 {
+			t.Fatalf("dec(%d)", v)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	m := NewAoB(4)
+	x := H(m, 4, 0xF)
+	z := x.Sub(x).IsZero()
+	if !All(m, z) {
+		t.Error("x-x must be zero everywhere")
+	}
+	nz := x.IsZero()
+	if m.Pop(nz) != 1 { // only channel 0 encodes 0
+		t.Errorf("IsZero pop = %d", m.Pop(nz))
+	}
+}
+
+func TestSubConstProperty(t *testing.T) {
+	m := NewAoB(4)
+	f := func(a, b uint8) bool {
+		pa, pb := Mk(m, 8, uint64(a)), Mk(m, 8, uint64(b))
+		return pa.Sub(pb).Certain(uint64(a-b)) && pa.Neg().Certain(uint64(-a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddHomomorphismRex(t *testing.T) {
+	testAddHomomorphism(t, NewRex(rex.MustSpace(12, 6)))
+}
+
+func TestMulHomomorphismRex(t *testing.T) {
+	testMulHomomorphism(t, NewRex(rex.MustSpace(12, 6)))
+}
+
+func TestFig9Rex(t *testing.T) {
+	checkFig9(t, NewRex(rex.MustSpace(8, 4)))
+}
+
+func TestX221Factor221Rex(t *testing.T) {
+	m := NewRex(rex.MustSpace(16, 10))
+	e := H(m, 8, 0x00FF).Mul(H(m, 8, 0xFF00)).Eq(Mk(m, 16, 221))
+	var factors []uint64
+	ChannelsWhere(m, e, func(ch uint64) bool {
+		factors = append(factors, ch%256)
+		return true
+	})
+	if len(factors) != 4 {
+		t.Fatalf("found %d factorizations: %v", len(factors), factors)
+	}
+}
+
+// TestFactorBeyondHardwareRex factors 899 = 29*31 with 10x10-bit operands:
+// 20-way entanglement, beyond what a single 16-way Qat register holds, on
+// the tree-compressed backend.
+func TestFactorBeyondHardwareRex(t *testing.T) {
+	m := NewRex(rex.MustSpace(20, 8))
+	b := H(m, 10, 0x003FF)
+	c := H(m, 10, 0xFFC00)
+	e := b.Mul(c).Eq(Mk(m, 20, 899))
+	var factors []uint64
+	ChannelsWhere(m, e, func(ch uint64) bool {
+		factors = append(factors, ch%1024)
+		return true
+	})
+	want := map[uint64]bool{1: true, 29: true, 31: true, 899: true}
+	if len(factors) != 4 {
+		t.Fatalf("factorizations: %v", factors)
+	}
+	for _, f := range factors {
+		if !want[f] {
+			t.Fatalf("unexpected factor %d", f)
+		}
+	}
+}
+
+func TestCrossBackendAgreementRex(t *testing.T) {
+	resA := program(NewAoB(10))
+	resX := program(NewRex(rex.MustSpace(10, 4)))
+	if !reflect.DeepEqual(resA, resX) {
+		t.Fatalf("backends disagree:\naob: %v\nrex: %v", resA, resX)
+	}
+}
+
+// TestFourQueensSuperposition solves 4-queens entirely in superposition:
+// one 2-bit column pint per row over its own channel sets, pairwise
+// constraints built from word-level gates, and the solution set read out
+// non-destructively. The two classic solutions appear as exactly two 1
+// channels.
+func TestFourQueensSuperposition(t *testing.T) {
+	m := NewAoB(8)
+	cols := make([]Pint[*aob.Vector], 4)
+	for row := range cols {
+		cols[row] = H(m, 2, 0x3<<(2*uint(row)))
+	}
+	ok := m.One()
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			d := uint64(j - i)
+			// Distinct columns.
+			ok = m.And(ok, cols[i].Ne(cols[j]))
+			// Distinct diagonals: col_i + d != col_j and col_j + d != col_i
+			// (3-bit arithmetic avoids wraparound).
+			ci := cols[i].Extend(3)
+			cj := cols[j].Extend(3)
+			dd := Mk(m, 3, d)
+			ok = m.And(ok, m.Not(ci.AddMod(dd).Eq(cj)))
+			ok = m.And(ok, m.Not(cj.AddMod(dd).Eq(ci)))
+		}
+	}
+	if got := m.Pop(ok); got != 2 {
+		t.Fatalf("4-queens has %d solutions, want 2", got)
+	}
+	var solutions [][4]uint64
+	ChannelsWhere(m, ok, func(ch uint64) bool {
+		var s [4]uint64
+		for row := 0; row < 4; row++ {
+			s[row] = ch >> (2 * uint(row)) & 3
+		}
+		solutions = append(solutions, s)
+		return true
+	})
+	want := map[[4]uint64]bool{{1, 3, 0, 2}: true, {2, 0, 3, 1}: true}
+	for _, s := range solutions {
+		if !want[s] {
+			t.Errorf("bogus solution %v", s)
+		}
+	}
+}
+
+// TestFiveQueensRex scales N-queens to 5x5 (15 pbits) on the rex backend.
+func TestFiveQueensRex(t *testing.T) {
+	m := NewRex(rex.MustSpace(15, 8))
+	cols := make([]Pint[*rex.Pattern], 5)
+	for row := range cols {
+		cols[row] = H(m, 3, 0x7<<(3*uint(row)))
+	}
+	ok := m.One()
+	five := Mk(m, 3, 5)
+	for row := range cols {
+		// Column indices 5-7 are invalid on a 5-wide board.
+		ok = m.And(ok, cols[row].Lt(five))
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			d := uint64(j - i)
+			ok = m.And(ok, cols[i].Ne(cols[j]))
+			ci := cols[i].Extend(4)
+			cj := cols[j].Extend(4)
+			dd := Mk(m, 4, d)
+			ok = m.And(ok, m.Not(ci.AddMod(dd).Eq(cj)))
+			ok = m.And(ok, m.Not(cj.AddMod(dd).Eq(ci)))
+		}
+	}
+	if got := m.Pop(ok); got != 10 {
+		t.Fatalf("5-queens has %d solutions, want 10", got)
+	}
+}
+
+// TestSampleDistribution: random-channel sampling reproduces the
+// superposition's probabilities, and never disturbs the state — the
+// quantum-measurement analog, minus the collapse.
+func TestSampleDistribution(t *testing.T) {
+	m := NewAoB(8)
+	b := H(m, 4, 0x0F)
+	c := H(m, 4, 0xF0)
+	d := b.Mul(c)
+	rng := rand.New(rand.NewSource(42))
+	counts := map[uint64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	// P(0) = 31/256: check within 3 sigma.
+	p0 := 31.0 / 256
+	mean := p0 * n
+	sigma := mathSqrt(n * p0 * (1 - p0))
+	got := float64(counts[0])
+	if got < mean-4*sigma || got > mean+4*sigma {
+		t.Errorf("sampled 0 %v times, want about %v", got, mean)
+	}
+	// Superposition intact after sampling.
+	if d.Prob(0) != 31 {
+		t.Error("sampling disturbed the superposition")
+	}
+}
+
+func mathSqrt(x float64) float64 {
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestUnrepresentableValues(t *testing.T) {
+	m := NewAoB(4)
+	x := H(m, 4, 0xF)
+	if x.Possible(16) || x.Possible(1<<40) {
+		t.Error("out-of-width value reported possible")
+	}
+	if x.Prob(16) != 0 {
+		t.Error("out-of-width probability nonzero")
+	}
+	if Mk(m, 4, 0).Certain(16) {
+		t.Error("out-of-width certainty")
+	}
+}
+
+// TestVariableOrderingMatters documents the BDD-like sensitivity of the
+// tree-compressed backend to entanglement channel-set assignment: the
+// equality indicator of two operands is linear-sized when their channel
+// sets interleave and exponential when they are in separate blocks —
+// exactly Bryant's classic variable-ordering result, surfacing in the PBP
+// setting as "which channel sets you give each pint".
+func TestVariableOrderingMatters(t *testing.T) {
+	const w = 11
+	mi := NewRex(rex.MustSpace(22, 4))
+	xi := H(mi, w, 0x155555) // even sets
+	yi := H(mi, w, 0x2AAAAA) // odd sets
+	inter := xi.Eq(yi)
+
+	mb := NewRex(rex.MustSpace(22, 4))
+	xb := H(mb, w, 0x0007FF) // low block
+	yb := H(mb, w, 0x3FF800) // high block
+	block := xb.Eq(yb)
+
+	if inter.Pop() != block.Pop() {
+		t.Fatal("semantic disagreement")
+	}
+	ni, nb := inter.NumNodes(), block.NumNodes()
+	if ni*8 > nb {
+		t.Errorf("interleaved %d nodes vs blocked %d: expected a wide gap", ni, nb)
+	}
+	t.Logf("equality indicator: interleaved %d nodes, blocked %d nodes", ni, nb)
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tangled/internal/aob"
+	"tangled/internal/core"
+	"tangled/internal/rex"
+)
+
+// The paper's Figure 9 program: factor 15 by multiplying two independent
+// Hadamard superpositions and measuring non-destructively.
+func Example() {
+	m := core.NewAoB(8)
+	b := core.H(m, 4, 0x0F)
+	c := core.H(m, 4, 0xF0)
+	e := b.Mul(c).Eq(core.Mk(m, 8, 15))
+	core.ChannelsWhere[*aob.Vector](m, e, func(ch uint64) bool {
+		fmt.Printf("%d x %d\n", ch%16, ch/16)
+		return true
+	})
+	// Output:
+	// 15 x 1
+	// 5 x 3
+	// 3 x 5
+	// 1 x 15
+}
+
+// Reductions summarize a superposition in O(1)-ish operations instead of
+// enumerating channels.
+func ExamplePint_Prob() {
+	m := core.NewAoB(8)
+	sum := core.H(m, 4, 0x0F).Add(core.H(m, 4, 0xF0))
+	fmt.Println("P(sum == 15) =", sum.Prob(15), "/ 256")
+	fmt.Println("possible(30):", sum.Possible(30)) // 15 + 15
+	fmt.Println("possible(31):", sum.Possible(31)) // beyond any operand pair
+	// Output:
+	// P(sum == 15) = 16 / 256
+	// possible(30): true
+	// possible(31): false
+}
+
+// The rex backend runs the same programs far beyond the 16-way hardware
+// limit. Note the interleaved channel sets (x on even, y on odd): like a
+// BDD, the tree-compressed representation is sensitive to variable order,
+// and interleaving keeps the equality indicator linear-sized.
+func ExampleNewRex() {
+	m := core.NewRex(rex.MustSpace(40, 12))
+	x := core.H(m, 20, 0x5555555555)
+	y := core.H(m, 20, 0xAAAAAAAAAA)
+	eq := x.Eq(y)
+	fmt.Println("channels where x == y:", m.Pop(eq))
+	// Output:
+	// channels where x == y: 1048576
+}

@@ -1,0 +1,620 @@
+package cpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/bf16"
+	"tangled/internal/isa"
+)
+
+// run assembles and runs src on a fresh machine, failing the test on any
+// error, and returns the machine and captured sys output.
+func run(t *testing.T, ways int, src string) (*Machine, string) {
+	t.Helper()
+	var out bytes.Buffer
+	m, err := RunProgram(src, ways, 1_000_000, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, out.String()
+}
+
+// halt is the standard program epilogue: request SysHalt.
+const halt = "\nlex $0,0\nsys\n"
+
+// TestTable1ISASemanticsInt exercises each integer/logic instruction from
+// Table 1 against its documented functionality.
+func TestTable1ISASemanticsInt(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		reg  uint8
+		want int16
+	}{
+		{"add", "lex $1,30\nlex $2,12\nadd $1,$2", 1, 42},
+		{"add wraps", "loadi $1,0x7FFF\nlex $2,1\nadd $1,$2", 1, -32768},
+		{"and", "loadi $1,0xF0F0\nloadi $2,0xFF00\nand $1,$2", 1, -4096}, // 0xF000
+		{"or", "lex $1,0x0F\nloadi $2,0xF0\nor $1,$2", 1, 0xFF},
+		{"xor", "loadi $1,0xFF\nlex $2,0x0F\nxor $1,$2", 1, 0xF0},
+		{"not", "lex $1,0\nnot $1", 1, -1},
+		{"copy", "lex $2,77\ncopy $1,$2", 1, 77},
+		{"lex negative", "lex $1,-5", 1, -5},
+		{"lex positive", "lex $1,127", 1, 127},
+		{"lhi", "lex $1,0x34\nlhi $1,0x12", 1, 0x1234},
+		{"lhi preserves low", "lex $1,-1\nlhi $1,0", 1, 0x00FF},
+		{"mul", "lex $1,-6\nlex $2,7\nmul $1,$2", 1, -42},
+		{"mul wraps", "loadi $1,300\nloadi $2,300\nmul $1,$2", 1, int16(uint16(90000 & 0xFFFF))},
+		{"neg", "lex $1,5\nneg $1", 1, -5},
+		{"neg min", "loadi $1,0x8000\nneg $1", 1, -32768},
+		{"shift left", "lex $1,3\nlex $2,4\nshift $1,$2", 1, 48},
+		{"shift right", "lex $1,-16\nlex $2,-2\nshift $1,$2", 1, -4},
+		{"shift right logical-ish", "loadi $1,0x0100\nlex $2,-8\nshift $1,$2", 1, 1},
+		{"shift big", "lex $1,1\nlex $2,16\nshift $1,$2", 1, 0},
+		{"slt true", "lex $1,-3\nlex $2,5\nslt $1,$2", 1, 1},
+		{"slt false", "lex $1,5\nlex $2,-3\nslt $1,$2", 1, 0},
+		{"slt equal", "lex $1,9\nlex $2,9\nslt $1,$2", 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, _ := run(t, 4, c.src+halt)
+			if got := int16(m.Regs[c.reg]); got != c.want {
+				t.Errorf("$%d = %d, want %d", c.reg, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTable1ISASemanticsFloat exercises the bfloat16 instructions.
+func TestTable1ISASemanticsFloat(t *testing.T) {
+	oneHalf := uint16(bf16.FromFloat32(0.5))
+	two := uint16(bf16.FromFloat32(2.0))
+	three := uint16(bf16.FromFloat32(3.0))
+	six := uint16(bf16.FromFloat32(6.0))
+	five := uint16(bf16.FromFloat32(5.0))
+
+	m, _ := run(t, 4, `
+	lex $1,2
+	float $1          ; $1 = 2.0
+	lex $2,3
+	float $2          ; $2 = 3.0
+	copy $3,$1
+	mulf $3,$2        ; $3 = 6.0
+	copy $4,$1
+	addf $4,$2        ; $4 = 5.0
+	copy $5,$1
+	recip $5          ; $5 = 0.5
+	copy $6,$2
+	negf $6           ; $6 = -3.0
+	copy $7,$3
+	int $7            ; $7 = 6
+	`+halt)
+	if m.Regs[1] != two {
+		t.Errorf("float: %#04x want %#04x", m.Regs[1], two)
+	}
+	if m.Regs[2] != three {
+		t.Errorf("float 3: %#04x", m.Regs[2])
+	}
+	if m.Regs[3] != six {
+		t.Errorf("mulf: %#04x want %#04x", m.Regs[3], six)
+	}
+	if m.Regs[4] != five {
+		t.Errorf("addf: %#04x want %#04x", m.Regs[4], five)
+	}
+	if m.Regs[5] != oneHalf {
+		t.Errorf("recip: %#04x want %#04x", m.Regs[5], oneHalf)
+	}
+	if bf16.Float(m.Regs[6]).Float64() != -3.0 {
+		t.Errorf("negf: %g", bf16.Float(m.Regs[6]).Float64())
+	}
+	if int16(m.Regs[7]) != 6 {
+		t.Errorf("int: %d", int16(m.Regs[7]))
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m, _ := run(t, 4, `
+	loadi $1,0x1234
+	loadi $2,1000
+	store $1,$2       ; mem[1000] = 0x1234
+	load $3,$2        ; $3 = mem[1000]
+	`+halt)
+	if m.Mem[1000] != 0x1234 {
+		t.Errorf("mem[1000] = %#x", m.Mem[1000])
+	}
+	if m.Regs[3] != 0x1234 {
+		t.Errorf("$3 = %#x", m.Regs[3])
+	}
+	if m.Stats.MemReads != 1 || m.Stats.MemWrites != 1 {
+		t.Errorf("mem stats: %+v", m.Stats)
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	// Sum 1..10 with a conditional loop.
+	m, _ := run(t, 4, `
+	lex $1,0          ; sum
+	lex $2,10         ; i
+	lex $3,-1
+	loop: add $1,$2
+	add $2,$3
+	brt $2,loop
+	`+halt)
+	if int16(m.Regs[1]) != 55 {
+		t.Errorf("sum = %d, want 55", int16(m.Regs[1]))
+	}
+	if m.Stats.BranchesTaken != 9 || m.Stats.Branches != 10 {
+		t.Errorf("branch stats: %+v", m.Stats)
+	}
+}
+
+func TestJumpr(t *testing.T) {
+	m, _ := run(t, 4, `
+	loadi $1,target
+	jumpr $1
+	lex $2,99         ; skipped
+	target: lex $3,7
+	`+halt)
+	if m.Regs[2] != 0 || m.Regs[3] != 7 {
+		t.Errorf("$2=%d $3=%d", m.Regs[2], m.Regs[3])
+	}
+}
+
+// TestTable2MacrosExecute runs each pseudo-instruction through the machine.
+func TestTable2MacrosExecute(t *testing.T) {
+	m, _ := run(t, 4, `
+	lex $5,1
+	br first
+	lex $6,1          ; must be skipped
+	first: jump second
+	lex $6,2          ; must be skipped
+	second: jumpt $5,third
+	lex $6,3          ; must be skipped
+	third: lex $7,0
+	jumpf $7,fourth
+	lex $6,4          ; must be skipped
+	fourth: loadi $8,0x7FFF
+	`+halt)
+	if m.Regs[6] != 0 {
+		t.Errorf("a skipped path executed: $6=%d", m.Regs[6])
+	}
+	if m.Regs[8] != 0x7FFF {
+		t.Errorf("loadi: $8=%#x", m.Regs[8])
+	}
+}
+
+func TestJumpfFallsThrough(t *testing.T) {
+	m, _ := run(t, 4, `
+	lex $1,1          ; true: jumpf must NOT jump
+	jumpf $1,away
+	lex $2,42
+	away: `+halt)
+	if m.Regs[2] != 42 {
+		t.Errorf("jumpf with true condition skipped fall-through")
+	}
+}
+
+func TestSysOutput(t *testing.T) {
+	_, out := run(t, 4, `
+	lex $0,1
+	lex $1,-123
+	sys               ; print int
+	lex $0,2
+	lex $1,'H'
+	sys               ; print char
+	lex $1,'\n'
+	sys
+	lex $0,3
+	lex $1,2
+	float $1
+	sys               ; print float 2
+	`+halt)
+	if out != "-123\nH\n2\n" {
+		t.Errorf("sys output = %q", out)
+	}
+}
+
+func TestSysUnknownService(t *testing.T) {
+	p, err := asm.Assemble("lex $0,99\nsys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(4)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err == nil {
+		t.Fatal("unknown sys service did not error")
+	}
+}
+
+// TestFig6SingleCycleMachine runs a mixed Tangled+Qat program on the
+// functional machine — the Figure 6 organization where one instruction
+// stream feeds both ALUs.
+func TestFig6SingleCycleMachine(t *testing.T) {
+	m, _ := run(t, 8, `
+	had @10,3         ; pattern: 8 zeros, 8 ones, ...
+	lex $1,0
+	meas $1,@10       ; channel 0 -> 0
+	lex $2,12
+	meas $2,@10       ; channel 12 -> 1
+	lex $3,5
+	next $3,@10       ; first 1 after 5 -> 8
+	zero @11
+	one @12
+	and @13,@10,@12   ; @13 = @10
+	xor @14,@10,@10   ; @14 = 0
+	lex $4,0
+	next $4,@14       ; none -> 0
+	lex $5,0
+	pop $5,@13        ; ones after channel 0 in had-3 = 128
+	`+halt)
+	if m.Regs[1] != 0 {
+		t.Errorf("meas ch0 = %d", m.Regs[1])
+	}
+	if m.Regs[2] != 1 {
+		t.Errorf("meas ch12 = %d", m.Regs[2])
+	}
+	if m.Regs[3] != 8 {
+		t.Errorf("next after 5 = %d, want 8", m.Regs[3])
+	}
+	if m.Regs[4] != 0 {
+		t.Errorf("next on zero = %d", m.Regs[4])
+	}
+	if m.Regs[5] != 128 {
+		t.Errorf("pop = %d, want 128", m.Regs[5])
+	}
+	if m.Stats.QatInsts != 10 {
+		t.Errorf("qat inst count = %d", m.Stats.QatInsts)
+	}
+}
+
+// TestPaperNextSequence is the exact three-instruction example from
+// Section 2.7: had @123,4 / lex $8,42 / next $8,@123 leaves 48 in $8.
+func TestPaperNextSequence(t *testing.T) {
+	m, _ := run(t, 16, "had @123,4\nlex $8,42\nnext $8,@123"+halt)
+	if m.Regs[8] != 48 {
+		t.Errorf("$8 = %d, want 48", m.Regs[8])
+	}
+}
+
+func TestQatSwapInstructions(t *testing.T) {
+	m, _ := run(t, 8, `
+	had @1,0
+	had @2,1
+	swap @1,@2
+	lex $1,1
+	meas $1,@1        ; had-1 pattern: channel 1 -> 0
+	lex $2,2
+	meas $2,@1        ; channel 2 -> 1
+	one @3
+	cswap @1,@2,@3    ; full swap back
+	lex $3,1
+	meas $3,@1        ; had-0: channel 1 -> 1
+	`+halt)
+	if m.Regs[1] != 0 || m.Regs[2] != 1 {
+		t.Errorf("swap: meas = %d,%d", m.Regs[1], m.Regs[2])
+	}
+	if m.Regs[3] != 1 {
+		t.Errorf("cswap restore failed: %d", m.Regs[3])
+	}
+}
+
+func TestQatNotGates(t *testing.T) {
+	m, _ := run(t, 8, `
+	zero @1
+	not @1            ; all ones
+	had @2,2
+	cnot @1,@2        ; @1 ^= had2
+	lex $1,0
+	meas $1,@1        ; had2 ch0=0 -> @1 ch0 stays 1
+	lex $2,4
+	meas $2,@1        ; had2 ch4=1 -> flipped to 0
+	one @3
+	one @4
+	zero @5
+	ccnot @5,@3,@4    ; 0 ^= 1&1 = all ones
+	lex $3,17
+	meas $3,@5
+	`+halt)
+	if m.Regs[1] != 1 || m.Regs[2] != 0 {
+		t.Errorf("cnot: %d %d", m.Regs[1], m.Regs[2])
+	}
+	if m.Regs[3] != 1 {
+		t.Errorf("ccnot: %d", m.Regs[3])
+	}
+}
+
+func TestHadExceedsWaysErrors(t *testing.T) {
+	p, err := asm.Assemble("had @1,12\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(8) // only 8-way: pattern 12 impossible
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("had 12 on 8-way: err = %v", err)
+	}
+}
+
+func TestIllegalInstructionFaults(t *testing.T) {
+	m := New(4)
+	m.Mem[0] = 0xA000
+	if err := m.Step(); err == nil {
+		t.Fatal("illegal instruction executed")
+	}
+	if m.PC != 0 {
+		t.Error("PC advanced past faulting instruction")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	p, err := asm.Assemble("spin: br spin\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(4)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err != ErrNoHalt {
+		t.Fatalf("err = %v, want ErrNoHalt", err)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	m, _ := run(t, 4, halt)
+	if err := m.Step(); err != ErrHalted {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+}
+
+func TestConstantRegisterMachine(t *testing.T) {
+	p, err := asm.Assemble(`
+	xor @100,@0,@3    ; H1 via constants: 0 XOR H1
+	lex $1,2
+	meas $1,@100      ; H1: channel 2 -> 1
+	` + halt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewWithConstants(8)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 1 {
+		t.Errorf("meas = %d", m.Regs[1])
+	}
+}
+
+func TestConstantRegisterWriteFaults(t *testing.T) {
+	p, err := asm.Assemble("one @0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewWithConstants(8)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("write to @0: err = %v", err)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	p, _ := asm.Assemble("lex $1,1\nand @1,@2,@3" + halt)
+	m := New(4)
+	_ = m.Load(p)
+	var ops []isa.Op
+	m.Trace = func(pc uint16, inst isa.Inst) { ops = append(ops, inst.Op) }
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Op{isa.OpLex, isa.OpQAnd, isa.OpLex, isa.OpSys}
+	if len(ops) != len(want) {
+		t.Fatalf("traced %d ops", len(ops))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("trace %d: %s want %s", i, ops[i].Name(), want[i].Name())
+		}
+	}
+}
+
+func TestStatsClassification(t *testing.T) {
+	m, _ := run(t, 8, "lex $1,1\nzero @1\none @2\nand @3,@1,@2"+halt)
+	if m.Stats.TangledInsts != 3 || m.Stats.QatInsts != 3 {
+		t.Errorf("stats: %+v", m.Stats)
+	}
+}
+
+func BenchmarkFig6FunctionalSim(b *testing.B) {
+	// Dense mixed loop: measures functional-simulator throughput.
+	src := `
+	lex $1,100
+	lex $3,-1
+	had @1,3
+	loop: and @2,@1,@1
+	xor @3,@2,@1
+	copy $2,$1
+	next $2,@3
+	add $1,$3
+	brt $1,loop
+	` + halt
+	p, err := asm.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Load(p); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Stats.Insts), "insts/run")
+}
+
+func BenchmarkTable3QatOps(b *testing.B) {
+	p, err := asm.Assemble("loop: and @1,@2,@3\nxor @4,@1,@5\nor @6,@4,@7\nbr loop\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(16)
+	_ = m.Load(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMultiCyclesFor(t *testing.T) {
+	cases := []struct {
+		inst isa.Inst
+		want uint64
+	}{
+		{isa.Inst{Op: isa.OpLex}, 4}, // fetch+decode+execute+wb
+		{isa.Inst{Op: isa.OpAdd}, 4},
+		{isa.Inst{Op: isa.OpBrt}, 3}, // no wb
+		{isa.Inst{Op: isa.OpSys}, 3},
+		{isa.Inst{Op: isa.OpLoad}, 5},  // + mem
+		{isa.Inst{Op: isa.OpStore}, 4}, // + mem, no wb
+		{isa.Inst{Op: isa.OpQZero}, 3}, // qat: no tangled wb
+		{isa.Inst{Op: isa.OpQAnd}, 4},  // two fetch states
+		{isa.Inst{Op: isa.OpQMeas}, 4}, // one word + wb
+	}
+	for _, c := range cases {
+		if got := MultiCyclesFor(c.inst); got != c.want {
+			t.Errorf("%s: %d cycles, want %d", c.inst.Op.Name(), got, c.want)
+		}
+	}
+}
+
+func TestMultiCyclesAccumulate(t *testing.T) {
+	m, _ := run(t, 4, "lex $1,1\nadd $1,$1"+halt)
+	// lex(4) + add(4) + lex(4) + sys(3) = 15.
+	if m.Stats.MultiCycles != 15 {
+		t.Errorf("multi cycles = %d, want 15", m.Stats.MultiCycles)
+	}
+}
+
+// TestS5QatMacrosSemantics executes the reversible-macro expansions and
+// the native instructions side by side: identical final Qat state.
+func TestS5QatMacrosSemantics(t *testing.T) {
+	prologue := "had @1,0\nhad @2,1\nhad @3,2\n"
+	native := prologue + "cnot @1,@2\nccnot @2,@1,@3\nswap @1,@2\ncswap @1,@2,@3\n" + halt
+	macro := prologue + "mcnot @1,@2\nmccnot @2,@1,@3\nmswap @1,@2\nmcswap @1,@2,@3\n" + halt
+	mn, _ := run(t, 8, native)
+	mm, _ := run(t, 8, macro)
+	for q := uint8(1); q <= 3; q++ {
+		if !mn.Qat.Reg(q).Equal(mm.Qat.Reg(q)) {
+			t.Errorf("@%d differs between native and macro forms", q)
+		}
+	}
+	if mm.Stats.QatInsts <= mn.Stats.QatInsts {
+		t.Error("macro form should execute more instructions")
+	}
+}
+
+// TestStudentEncodingMachine runs a whole program transcoded to the
+// Student layout on a machine configured for that codec — the end-to-end
+// form of the paper's "encoding is a free choice" point.
+func TestStudentEncodingMachine(t *testing.T) {
+	src := `
+	lex $1,100
+	lex $2,-1
+	had @1,3
+	loop:
+	copy $3,$1
+	next $3,@1
+	add $1,$2
+	brt $1,loop
+	lex $0,0
+	sys
+	`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(8)
+	if err := ref.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+
+	words, err := isa.Transcode(prog.Words, isa.Primary, isa.Student)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(8)
+	m.Enc = isa.Student
+	if err := m.Load(&asm.Program{Words: words}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs != ref.Regs {
+		t.Fatalf("student-encoded run differs: %v vs %v", m.Regs, ref.Regs)
+	}
+	if m.Stats.Insts != ref.Stats.Insts {
+		t.Fatalf("instruction counts differ: %d vs %d", m.Stats.Insts, ref.Stats.Insts)
+	}
+}
+
+// TestStudentEncodingTrapsOnPrimaryImage: running a Primary-encoded image
+// under the Student codec faults quickly (the all-zero/illegal majors).
+func TestStudentEncodingTrapsOnPrimaryImage(t *testing.T) {
+	prog, err := asm.Assemble("sys\n") // primary sys = 0xF007
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(4)
+	m.Enc = isa.Student
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err == nil {
+		t.Fatal("cross-encoding confusion not detected")
+	}
+}
+
+func TestRecipLUTDatapath(t *testing.T) {
+	p, err := asm.Assemble("lex $1,3\nfloat $1\nrecip $1\nlex $0,0\nsys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(4)
+	m.RecipLUT = true
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	got := bf16.Float(m.Regs[1])
+	want := bf16.RecipLUT(bf16.FromInt(3))
+	if got != want {
+		t.Errorf("LUT recip = %#04x, want %#04x", uint16(got), uint16(want))
+	}
+	// Within 1 ulp of the correctly rounded result.
+	cr := bf16.Recip(bf16.FromInt(3))
+	diff := int32(uint16(got)) - int32(uint16(cr))
+	if diff < -1 || diff > 1 {
+		t.Errorf("LUT recip off by %d ulp", diff)
+	}
+}

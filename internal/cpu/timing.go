@@ -1,0 +1,31 @@
+package cpu
+
+import "tangled/internal/isa"
+
+// The class projects built a multi-cycle Tangled/Qat before pipelining it;
+// this file models that machine's timing so the pipelined speedup can be
+// quantified. A multi-cycle implementation spends one state per step
+// actually needed by the instruction:
+//
+//	fetch (one per instruction word) + decode + execute
+//	+ memory access (load/store only)
+//	+ register write-back (instructions producing a Tangled result)
+//
+// Pure Qat operations update the coprocessor register file during execute
+// and need no separate write-back state (the Qat file is written by the
+// coprocessor datapath, not the Tangled register file).
+
+// MultiCyclesFor returns the multi-cycle machine's state count for one
+// instruction.
+func MultiCyclesFor(inst isa.Inst) uint64 {
+	n := uint64(inst.Words()) // fetch states
+	n += 2                    // decode + execute
+	switch inst.Op {
+	case isa.OpLoad, isa.OpStore:
+		n++ // memory state
+	}
+	if inst.Op.WritesTangledReg() {
+		n++ // write-back state
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package gates
+
+import "testing"
+
+func TestOrReduce(t *testing.T) {
+	cases := []struct {
+		n      uint64
+		fanin  int
+		gates  uint64
+		levels int
+	}{
+		{1, 2, 0, 0},
+		{2, 2, 1, 1},
+		{4, 2, 3, 2},
+		{8, 2, 7, 3},
+		{1024, 2, 1023, 10},
+		{8, 4, 3, 2},  // two levels of 4-input ORs: ceil(7/3)=3 gates
+		{64, 8, 9, 2}, // ceil(63/7)=9 gates, log8(64)=2
+		{1024, WideOR, 1, 1},
+	}
+	for _, c := range cases {
+		got := orReduce(c.n, c.fanin)
+		if got.Gates != c.gates || got.Levels != c.levels {
+			t.Errorf("orReduce(%d,%d) = %+v, want {%d %d}", c.n, c.fanin, got, c.gates, c.levels)
+		}
+	}
+}
+
+// TestFig8GateDelayScaling verifies the paper's central Section 3.3 claim:
+// next is O(WAYS) levels with wide ORs but approaches O(WAYS^2) with
+// 2-input OR trees.
+func TestFig8GateDelayScaling(t *testing.T) {
+	for _, ways := range []int{4, 8, 16} {
+		wide := NextCost(ways, WideOR)
+		narrow := NextCost(ways, 2)
+		// Wide: 2*ways (shifter) + 2 per CTZ level = 4*ways - small const.
+		if wide.Levels > 4*ways {
+			t.Errorf("ways=%d: wide levels %d exceed 4*ways", ways, wide.Levels)
+		}
+		// Narrow: shifter 2*ways + sum(pow2) + ways muxes
+		//       = 2*ways + ways*(ways-1)/2 + ways.
+		wantNarrow := 2*ways + ways*(ways-1)/2 + ways
+		if narrow.Levels != wantNarrow {
+			t.Errorf("ways=%d: narrow levels %d, want %d", ways, narrow.Levels, wantNarrow)
+		}
+	}
+	// Quadratic vs linear separation must widen with ways.
+	gap8 := NextCost(8, 2).Levels - NextCost(8, WideOR).Levels
+	gap16 := NextCost(16, 2).Levels - NextCost(16, WideOR).Levels
+	if gap16 <= gap8 {
+		t.Error("narrow-OR penalty must grow with ways")
+	}
+}
+
+// TestStudent8WaySingleStage: the paper notes "the student versions limited
+// WAYS to 8, which is easily viable within a single pipeline stage" — at 8
+// ways even the narrow-OR next is far shallower than at 16.
+func TestStudent8WaySingleStage(t *testing.T) {
+	s8 := NextCost(8, 2).Levels
+	s16 := NextCost(16, 2).Levels
+	if s8 >= s16/2 {
+		t.Errorf("8-way next (%d levels) should be much shallower than 16-way (%d)", s8, s16)
+	}
+}
+
+func TestBarrelShiftLinearLevels(t *testing.T) {
+	for ways := 1; ways <= 16; ways++ {
+		c := BarrelShiftCost(ways)
+		if c.Levels != 2*ways {
+			t.Errorf("ways=%d: levels %d", ways, c.Levels)
+		}
+		if c.Gates != uint64(2*ways)<<uint(ways) {
+			t.Errorf("ways=%d: gates %d", ways, c.Gates)
+		}
+	}
+}
+
+// TestFig7HadMuxVsConstRegs: the Section 5 conclusion — constant registers
+// beat had-generation hardware. The mux network for 16 ways costs ~1M gate
+// bits; the constant bank costs 18 registers of storage and zero gates.
+func TestFig7HadMuxVsConstRegs(t *testing.T) {
+	mux := HadMuxCost(16)
+	if mux.Gates != uint64(15)<<16 {
+		t.Errorf("had mux gates = %d", mux.Gates)
+	}
+	if mux.Levels != 4 {
+		t.Errorf("had mux levels = %d, want 4", mux.Levels)
+	}
+	bits := HadConstRegBits(16)
+	if bits != 18<<16 {
+		t.Errorf("const reg bits = %d", bits)
+	}
+	// The paper's point: gate cost goes to zero, storage cost is close to
+	// the mux gate count — a clear win since registers already exist.
+	if mux.Gates < bits/2 {
+		t.Error("expected mux gates to be comparable to constant storage")
+	}
+}
+
+func TestLogicOpIsSingleLevel(t *testing.T) {
+	for _, ways := range []int{1, 8, 16} {
+		c := LogicOpCost(ways)
+		if c.Levels != 1 || c.Gates != uint64(1)<<uint(ways) {
+			t.Errorf("ways=%d: %+v", ways, c)
+		}
+	}
+}
+
+func TestPopSharesShifter(t *testing.T) {
+	p := PopCost(16)
+	n := NextCost(16, 2)
+	if p.Gates == 0 || p.Levels == 0 {
+		t.Fatal("empty pop cost")
+	}
+	// pop's adder tree is deeper than one OR level but the shifter
+	// dominates gates in both.
+	if p.Gates < BarrelShiftCost(16).Gates {
+		t.Error("pop must include the shifter")
+	}
+	_ = n
+}
+
+// TestS5PortRequirements encodes the Section 5 simplification table: which
+// instructions force the 3rd read port and the 2nd write port.
+func TestS5PortRequirements(t *testing.T) {
+	cases := map[string]PortCosts{
+		"and":   {2, 1},
+		"cnot":  {2, 1},
+		"ccnot": {3, 1},
+		"swap":  {2, 2},
+		"cswap": {3, 2},
+		"meas":  {1, 0},
+		"next":  {1, 0},
+		"had":   {1, 1},
+	}
+	for class, want := range cases {
+		got, err := PortsFor(class)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if got != want {
+			t.Errorf("%s: %+v, want %+v", class, got, want)
+		}
+	}
+	// Only swap/cswap need the second write port; only ccnot/cswap need
+	// the third read port — the paper's argument for demoting them to
+	// assembler macros.
+	if _, err := PortsFor("bogus"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestBadWaysPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NextCost(0, 2)
+}
+
+func BenchmarkFig8GateModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for ways := 1; ways <= 16; ways++ {
+			_ = NextCost(ways, 2)
+			_ = NextCost(ways, WideOR)
+		}
+	}
+}

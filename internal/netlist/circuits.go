@@ -1,0 +1,206 @@
+package netlist
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file constructs the two nontrivial Qat datapath circuits as explicit
+// netlists, following the structure of the paper's Verilog:
+//
+//   - HadCircuit is Figure 7's had: each output channel selects bit h of
+//     its own index through a constant multiplexer tree ("a lookup table
+//     expressed as a Verilog combinatorial always ... using a case
+//     statement (multiplexor)").
+//   - NextCircuit is Figure 8's next: a barrel-shifter masking step
+//     followed by the recursive halve-and-test count-trailing-zeros
+//     decomposition.
+
+// HadNetlist is the built Figure 7 circuit.
+type HadNetlist struct {
+	C *Circuit
+	// Sel are the pattern-select inputs, least significant first
+	// (ceil(log2 ways) lines).
+	Sel []int32
+	// Out are the 2^ways channel outputs.
+	Out []int32
+}
+
+// HadCircuit builds the constant-mux had generator for the given
+// entanglement degree.
+func HadCircuit(ways int) (*HadNetlist, error) {
+	if ways < 1 || ways > 16 {
+		return nil, fmt.Errorf("netlist: ways %d out of range", ways)
+	}
+	c := New()
+	selBits := bits.Len(uint(ways - 1))
+	if ways == 1 {
+		selBits = 0
+	}
+	sel := make([]int32, selBits)
+	for i := range sel {
+		sel[i] = c.Input()
+	}
+	channels := 1 << uint(ways)
+	out := make([]int32, channels)
+	for ch := 0; ch < channels; ch++ {
+		// The constant column for this channel: bit k of ch, k = 0..ways-1.
+		col := make([]int32, ways)
+		for k := 0; k < ways; k++ {
+			col[k] = c.Const(ch>>uint(k)&1 == 1)
+		}
+		out[ch] = muxTree(c, sel, col)
+	}
+	return &HadNetlist{C: c, Sel: sel, Out: out}, nil
+}
+
+// muxTree selects vals[sel] with a binary multiplexer tree. Out-of-range
+// selections (when len(vals) is not a power of two) resolve to the highest
+// populated entry, which never occurs for valid had indices.
+func muxTree(c *Circuit, sel []int32, vals []int32) int32 {
+	if len(vals) == 1 || len(sel) == 0 {
+		return vals[0]
+	}
+	half := 1 << uint(len(sel)-1)
+	if len(vals) <= half {
+		return muxTree(c, sel[:len(sel)-1], vals)
+	}
+	lo := muxTree(c, sel[:len(sel)-1], vals[:half])
+	hi := muxTree(c, sel[:len(sel)-1], vals[half:])
+	return c.Mux(sel[len(sel)-1], lo, hi)
+}
+
+// NextNetlist is the built Figure 8 circuit.
+type NextNetlist struct {
+	C *Circuit
+	// AoB are the 2^ways value inputs, channel 0 first.
+	AoB []int32
+	// S are the start-channel inputs, least significant first (ways lines).
+	S []int32
+	// R are the result outputs, least significant first (ways lines).
+	R []int32
+}
+
+// NextCircuit builds the Figure 8 next datapath: mask channels <= s with a
+// right-then-left barrel shifter, then locate the lowest surviving 1 with
+// the recursive decomposition.
+func NextCircuit(ways int) (*NextNetlist, error) {
+	if ways < 1 || ways > 16 {
+		return nil, fmt.Errorf("netlist: ways %d out of range", ways)
+	}
+	c := New()
+	n := 1 << uint(ways)
+	aob := make([]int32, n)
+	for i := range aob {
+		aob[i] = c.Input()
+	}
+	s := make([]int32, ways)
+	for i := range s {
+		s[i] = c.Input()
+	}
+	zero := c.Const(false)
+
+	// Step 1, per the Verilog {((aob[(1<<WAYS)-1:1] >> s) << s), 1'b0}:
+	// the shifters operate on the (n-1)-bit vector w[j] = aob[j+1]; the
+	// final 1'b0 concatenation re-aligns the indices, so channels 0..s all
+	// come out zero (the off-by-one is load-bearing: channel s itself is
+	// masked by the dropped bit plus the s-deep shift).
+	w := make([]int32, n-1)
+	for j := range w {
+		w[j] = aob[j+1]
+	}
+	// Right shift by s (zeros in from the top), one mux stage per s bit.
+	for k := 0; k < ways; k++ {
+		sh := 1 << uint(k)
+		nw := make([]int32, len(w))
+		for i := range w {
+			from := zero
+			if i+sh < len(w) {
+				from = w[i+sh]
+			}
+			nw[i] = c.Mux(s[k], w[i], from)
+		}
+		w = nw
+	}
+	// Left shift by s (zeros in from the bottom).
+	for k := 0; k < ways; k++ {
+		sh := 1 << uint(k)
+		nw := make([]int32, len(w))
+		for i := range w {
+			from := zero
+			if i-sh >= 0 {
+				from = w[i-sh]
+			}
+			nw[i] = c.Mux(s[k], w[i], from)
+		}
+		w = nw
+	}
+	v := make([]int32, 0, n)
+	v = append(v, zero) // the 1'b0
+	v = append(v, w...)
+
+	// Step 2: recursive halve-and-test. tr[pow2] = lower half empty; keep
+	// the half that holds the answer.
+	tr := make([]int32, ways)
+	window := v
+	for pow2 := ways - 1; pow2 >= 0; pow2-- {
+		half := 1 << uint(pow2)
+		low := window[:half]
+		high := window[half:]
+		orLow := c.OrReduce(append([]int32(nil), low...))
+		tr[pow2] = c.Not(orLow)
+		next := make([]int32, half)
+		for j := 0; j < half; j++ {
+			// orLow ? low[j] : high[j]
+			next[j] = c.Mux(orLow, high[j], low[j])
+		}
+		window = next
+	}
+	// window[0] is the single surviving candidate bit; if it is 0 the
+	// masked vector was empty and the result is 0.
+	valid := window[0]
+	r := make([]int32, ways)
+	for k := 0; k < ways; k++ {
+		r[k] = c.And(tr[k], valid)
+	}
+	return &NextNetlist{C: c, AoB: aob, S: s, R: r}, nil
+}
+
+// EvalNext runs the circuit for a concrete AoB bit slice and start channel
+// and returns the located channel number.
+func (nl *NextNetlist) EvalNext(aobBits []bool, s uint64) (uint64, error) {
+	inputs := make([]bool, 0, len(nl.AoB)+len(nl.S))
+	inputs = append(inputs, aobBits...)
+	for k := 0; k < len(nl.S); k++ {
+		inputs = append(inputs, s>>uint(k)&1 == 1)
+	}
+	read, err := nl.C.Eval(inputs)
+	if err != nil {
+		return 0, err
+	}
+	var r uint64
+	for k, id := range nl.R {
+		if read(id) {
+			r |= uint64(1) << uint(k)
+		}
+	}
+	return r, nil
+}
+
+// EvalHad runs the had circuit for pattern index k and returns the output
+// channels as a bit slice.
+func (nl *HadNetlist) EvalHad(k int) ([]bool, error) {
+	inputs := make([]bool, len(nl.Sel))
+	for i := range inputs {
+		inputs[i] = k>>uint(i)&1 == 1
+	}
+	read, err := nl.C.Eval(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(nl.Out))
+	for i, id := range nl.Out {
+		out[i] = read(id)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+// Package netlist builds and evaluates explicit gate-level circuits for
+// the Qat datapath structures, closing the loop between the three views
+// this repository has of the same hardware:
+//
+//   - behavioral: package aob's word-parallel implementations,
+//   - analytic:   package gates' gate-count/levels cost model,
+//   - structural: this package — the actual network of AND/OR/NOT/MUX
+//     gates that the paper's Figures 7 and 8 Verilog describes, evaluated
+//     gate by gate.
+//
+// The tests prove that the structural circuits compute exactly the
+// architectural functions (the role of the students' Verilog testbenches)
+// and that their measured gate counts and logic depth match the analytic
+// model's predictions.
+package netlist
+
+import "fmt"
+
+// Kind enumerates gate types.
+type Kind uint8
+
+const (
+	KindConst Kind = iota
+	KindInput
+	KindNot
+	KindAnd
+	KindOr
+	KindMux // Mux(sel, a, b) = sel ? b : a
+)
+
+// gate is one node of the network. Inputs reference earlier gates only
+// (the builder enforces topological construction), so evaluation is a
+// single forward pass.
+type gate struct {
+	kind Kind
+	a    int32 // operand indices; meaning depends on kind
+	b    int32
+	sel  int32
+	val  bool // constant value / evaluation scratch
+	// depth is the longest path from any input, in levels of logic.
+	depth int32
+}
+
+// Circuit is a combinational network under construction or evaluation.
+type Circuit struct {
+	gates  []gate
+	inputs []int32
+	// counts per kind, excluding consts and inputs
+	nGates  int
+	maxPath int32
+}
+
+// New returns an empty circuit.
+func New() *Circuit { return &Circuit{} }
+
+// Const adds a constant node and returns its id.
+func (c *Circuit) Const(v bool) int32 {
+	c.gates = append(c.gates, gate{kind: KindConst, val: v})
+	return int32(len(c.gates) - 1)
+}
+
+// Input adds a primary input and returns its id.
+func (c *Circuit) Input() int32 {
+	c.gates = append(c.gates, gate{kind: KindInput})
+	id := int32(len(c.gates) - 1)
+	c.inputs = append(c.inputs, id)
+	return id
+}
+
+func (c *Circuit) depthOf(id int32) int32 { return c.gates[id].depth }
+
+func (c *Circuit) addGate(g gate, depth int32) int32 {
+	g.depth = depth
+	c.gates = append(c.gates, g)
+	c.nGates++
+	if depth > c.maxPath {
+		c.maxPath = depth
+	}
+	return int32(len(c.gates) - 1)
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Not adds an inverter.
+func (c *Circuit) Not(a int32) int32 {
+	return c.addGate(gate{kind: KindNot, a: a}, c.depthOf(a)+1)
+}
+
+// And adds a 2-input AND.
+func (c *Circuit) And(a, b int32) int32 {
+	return c.addGate(gate{kind: KindAnd, a: a, b: b}, max32(c.depthOf(a), c.depthOf(b))+1)
+}
+
+// Or adds a 2-input OR.
+func (c *Circuit) Or(a, b int32) int32 {
+	return c.addGate(gate{kind: KindOr, a: a, b: b}, max32(c.depthOf(a), c.depthOf(b))+1)
+}
+
+// Mux adds a 2:1 multiplexer: sel ? b : a. It counts as one gate and one
+// level, matching the convention of the analytic model.
+func (c *Circuit) Mux(sel, a, b int32) int32 {
+	d := max32(c.depthOf(sel), max32(c.depthOf(a), c.depthOf(b))) + 1
+	return c.addGate(gate{kind: KindMux, a: a, b: b, sel: sel}, d)
+}
+
+// OrReduce adds a balanced 2-input OR tree over ids and returns its root
+// (the identity-false constant for an empty list).
+func (c *Circuit) OrReduce(ids []int32) int32 {
+	switch len(ids) {
+	case 0:
+		return c.Const(false)
+	case 1:
+		return ids[0]
+	}
+	mid := len(ids) / 2
+	return c.Or(c.OrReduce(ids[:mid]), c.OrReduce(ids[mid:]))
+}
+
+// NumGates reports the logic gate count (consts and inputs excluded).
+func (c *Circuit) NumGates() int { return c.nGates }
+
+// Depth reports the worst-case levels of logic.
+func (c *Circuit) Depth() int { return int(c.maxPath) }
+
+// NumInputs reports the primary input count.
+func (c *Circuit) NumInputs() int { return len(c.inputs) }
+
+// Eval computes the value of every gate for the given input assignment and
+// returns a function reading any node's value.
+func (c *Circuit) Eval(inputs []bool) (func(id int32) bool, error) {
+	if len(inputs) != len(c.inputs) {
+		return nil, fmt.Errorf("netlist: got %d inputs, want %d", len(inputs), len(c.inputs))
+	}
+	vals := make([]bool, len(c.gates))
+	ii := 0
+	for i := range c.gates {
+		g := &c.gates[i]
+		switch g.kind {
+		case KindConst:
+			vals[i] = g.val
+		case KindInput:
+			vals[i] = inputs[ii]
+			ii++
+		case KindNot:
+			vals[i] = !vals[g.a]
+		case KindAnd:
+			vals[i] = vals[g.a] && vals[g.b]
+		case KindOr:
+			vals[i] = vals[g.a] || vals[g.b]
+		case KindMux:
+			if vals[g.sel] {
+				vals[i] = vals[g.b]
+			} else {
+				vals[i] = vals[g.a]
+			}
+		}
+	}
+	return func(id int32) bool { return vals[id] }, nil
+}

@@ -1,0 +1,261 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tangled/internal/aob"
+	"tangled/internal/gates"
+)
+
+func TestCircuitPrimitives(t *testing.T) {
+	c := New()
+	a, b := c.Input(), c.Input()
+	n := c.Not(a)
+	and := c.And(a, b)
+	or := c.Or(a, b)
+	mux := c.Mux(a, b, n) // a ? n : b
+	for _, tc := range []struct{ a, b bool }{{false, false}, {false, true}, {true, false}, {true, true}} {
+		read, err := c.Eval([]bool{tc.a, tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if read(n) != !tc.a || read(and) != (tc.a && tc.b) || read(or) != (tc.a || tc.b) {
+			t.Fatalf("primitives wrong at %+v", tc)
+		}
+		want := tc.b
+		if tc.a {
+			want = !tc.a == false && read(n) // n = !a
+			want = read(n)
+		}
+		if read(mux) != want {
+			t.Fatalf("mux wrong at %+v", tc)
+		}
+	}
+	if c.NumGates() != 4 || c.NumInputs() != 2 {
+		t.Errorf("counts: %d gates, %d inputs", c.NumGates(), c.NumInputs())
+	}
+}
+
+func TestOrReduce(t *testing.T) {
+	c := New()
+	var ids []int32
+	for i := 0; i < 9; i++ {
+		ids = append(ids, c.Input())
+	}
+	root := c.OrReduce(ids)
+	for probe := 0; probe < 9; probe++ {
+		in := make([]bool, 9)
+		in[probe] = true
+		read, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !read(root) {
+			t.Fatalf("or-reduce missed input %d", probe)
+		}
+	}
+	read, _ := c.Eval(make([]bool, 9))
+	if read(root) {
+		t.Fatal("or-reduce of zeros")
+	}
+}
+
+func TestEvalInputCount(t *testing.T) {
+	c := New()
+	c.Input()
+	if _, err := c.Eval(nil); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+}
+
+// TestFig7HadNetlistMatchesBehavior: the structural circuit computes
+// exactly aob.Had for every pattern index, at several widths.
+func TestFig7HadNetlistMatchesBehavior(t *testing.T) {
+	for _, ways := range []int{1, 2, 3, 5, 8} {
+		nl, err := HadCircuit(ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < ways; k++ {
+			got, err := nl.EvalHad(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := aob.HadVector(ways, k)
+			for ch := range got {
+				if got[ch] != want.Get(uint64(ch)) {
+					t.Fatalf("ways=%d k=%d ch=%d", ways, k, ch)
+				}
+			}
+		}
+	}
+}
+
+// TestFig7HadNetlistCost: the structural gate count matches the analytic
+// model exactly (ways-1 muxes per output channel).
+func TestFig7HadNetlistCost(t *testing.T) {
+	for _, ways := range []int{2, 4, 8} {
+		nl, err := HadCircuit(ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gates.HadMuxCost(ways)
+		if uint64(nl.C.NumGates()) != want.Gates {
+			t.Errorf("ways=%d: netlist %d gates, model %d", ways, nl.C.NumGates(), want.Gates)
+		}
+		if nl.C.Depth() != want.Levels {
+			t.Errorf("ways=%d: netlist depth %d, model %d", ways, nl.C.Depth(), want.Levels)
+		}
+	}
+}
+
+// TestFig8NextNetlistMatchesBehavior: the structural Figure 8 circuit
+// equals the architectural Next on random vectors — the role of the
+// students' Verilog testbenches, for the hardest module in the project.
+func TestFig8NextNetlistMatchesBehavior(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, ways := range []int{1, 2, 3, 4, 6, 8} {
+		nl, err := NextCircuit(ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := uint64(1) << uint(ways)
+		trials := 20
+		if ways <= 3 {
+			trials = 60
+		}
+		for trial := 0; trial < trials; trial++ {
+			v := aob.New(ways)
+			bits := make([]bool, n)
+			for ch := uint64(0); ch < n; ch++ {
+				b := r.Intn(3) == 0
+				bits[ch] = b
+				v.Set(ch, b)
+			}
+			for s := uint64(0); s < n; s++ {
+				got, err := nl.EvalNext(bits, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := v.Next(s); got != want {
+					t.Fatalf("ways=%d next(%d) over %s: netlist %d, architecture %d",
+						ways, s, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFig8NextNetlistCost: measured structure vs the analytic model. The
+// barrel shifter dominates and must match exactly; the CTZ section adds
+// the small constant factors (result NOTs and the validity ANDs) the
+// analytic model ignores.
+func TestFig8NextNetlistCost(t *testing.T) {
+	for _, ways := range []int{4, 6, 8, 10} {
+		nl, err := NextCircuit(ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := gates.NextCost(ways, 2)
+		got := uint64(nl.C.NumGates())
+		// The netlist shifts an (n-1)-wide vector (the model charges n) and
+		// adds 2*ways bookkeeping gates; agreement within 2% is structural
+		// agreement.
+		lo := model.Gates * 98 / 100
+		hi := model.Gates * 102 / 100
+		if got < lo || got > hi {
+			t.Errorf("ways=%d: netlist %d gates, model %d", ways, got, model.Gates)
+		}
+		// Depth: the model sums OR-tree depth and mux level per CTZ stage
+		// plus 2*ways shifter levels; the netlist adds the final AND.
+		if d := nl.C.Depth(); d < model.Levels-ways || d > model.Levels+ways {
+			t.Errorf("ways=%d: netlist depth %d, model %d", ways, d, model.Levels)
+		}
+	}
+}
+
+// TestFig8StudentScale: the 8-way (256-bit) configuration the students
+// built evaluates fast enough to sweep every start channel exhaustively
+// on a Hadamard pattern — and gives the paper's worked-example answer at
+// 16 channels... scaled: had-2 pattern, next(2) = 4.
+func TestFig8StudentScale(t *testing.T) {
+	nl, err := NextCircuit(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := aob.HadVector(8, 4) // 16 zeros, 16 ones, ...
+	bits := make([]bool, 256)
+	for ch := uint64(0); ch < 256; ch++ {
+		bits[ch] = v.Get(ch)
+	}
+	for s := uint64(0); s < 256; s++ {
+		got, err := nl.EvalNext(bits, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := v.Next(s); got != want {
+			t.Fatalf("next(%d): %d vs %d", s, got, want)
+		}
+	}
+	// The Section 2.7 example at this scale: next after 42 is 48.
+	got, _ := nl.EvalNext(bits, 42)
+	if got != 48 {
+		t.Fatalf("worked example: %d", got)
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	if _, err := HadCircuit(0); err == nil {
+		t.Error("ways 0 accepted")
+	}
+	if _, err := NextCircuit(17); err == nil {
+		t.Error("ways 17 accepted")
+	}
+}
+
+func BenchmarkFig8NetlistEval8Way(b *testing.B) {
+	nl, err := NextCircuit(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits := make([]bool, 256)
+	for i := range bits {
+		bits[i] = i%16 >= 8
+	}
+	b.ReportMetric(float64(nl.C.NumGates()), "gates")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nl.EvalNext(bits, uint64(i)&255); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestVerilogEmission: the emitted modules carry the paper's exact
+// structural lines (Figures 7 and 8).
+func TestVerilogEmission(t *testing.T) {
+	had := HadVerilog(16)
+	for _, frag := range []string{
+		"module qathad(aob, h);",
+		"parameter WAYS=16;",
+		"assign aob[i] = (i >> h);",
+	} {
+		if !strings.Contains(had, frag) {
+			t.Errorf("had verilog missing %q", frag)
+		}
+	}
+	next := NextVerilog(8)
+	for _, frag := range []string{
+		"module qatnext(r, aob, s);",
+		"parameter WAYS=8;",
+		"{((aob[(1<<WAYS)-1:1] >> s) << s), 1'b0};",
+		"assign tr[0] = ~t[0].v[0];",
+		"assign r = ((t[0].v) ? tr : 0);",
+	} {
+		if !strings.Contains(next, frag) {
+			t.Errorf("next verilog missing %q", frag)
+		}
+	}
+}

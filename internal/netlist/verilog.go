@@ -1,0 +1,55 @@
+package netlist
+
+import "fmt"
+
+// Verilog emission: the paper's Figures 7 and 8 give complete parametric
+// Verilog for the had and next datapaths. These generators reproduce those
+// modules (modulo whitespace) so the repository contains the same artifact
+// the paper publishes, parameterized the same way (WAYS). The netlists in
+// this package implement the identical structure, so the emitted text is
+// backed by executable, tested logic.
+
+// HadVerilog returns the Figure 7 module for WAYS-way entanglement.
+func HadVerilog(ways int) string {
+	return fmt.Sprintf(`module qathad(aob, h);
+parameter WAYS=%d;
+input [WAYS-1:0] h;
+output [(1<<WAYS)-1:0] aob;
+genvar i;
+generate
+  for (i=0; i<(1<<WAYS); i=i+1) begin
+      assign aob[i] = (i >> h);
+    end
+endgenerate
+endmodule
+`, ways)
+}
+
+// NextVerilog returns the Figure 8 module for WAYS-way entanglement.
+func NextVerilog(ways int) string {
+	return fmt.Sprintf(`module qatnext(r, aob, s);
+parameter WAYS=%d;
+input [(1<<WAYS)-1:0] aob;
+input [WAYS-1:0] s;
+output [WAYS-1:0] r;
+genvar pow2;
+generate
+  wire [WAYS-1:0] tr;
+  for (pow2=WAYS-1; pow2>=0; pow2=pow2-1) begin:t
+    // wires named as t[pow2].v
+    wire [(2<<pow2)-1:0] v;
+  end
+  assign t[WAYS-1].v =
+    {((aob[(1<<WAYS)-1:1] >> s) << s), 1'b0};
+  for (pow2=WAYS-1; pow2>0; pow2=pow2-1) begin
+    assign {tr[pow2], t[pow2-1].v} =
+      ((|t[pow2].v[(1<<pow2)-1:0]) ?
+       {1'b0, t[pow2].v[(1<<pow2)-1:0]} :
+       {1'b1, t[pow2].v[(2<<pow2)-1:(1<<pow2)]});
+  end
+  assign tr[0] = ~t[0].v[0];
+  assign r = ((t[0].v) ? tr : 0);
+endgenerate
+endmodule
+`, ways)
+}

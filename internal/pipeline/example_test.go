@@ -1,0 +1,29 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"tangled/internal/pipeline"
+)
+
+// Run a Qat program on the cycle-accurate pipeline and inspect the
+// measured factors and cycle accounting.
+func ExampleRunProgram() {
+	src := `
+	had @1,4
+	lex $8,42
+	next $8,@1
+	lex $0,0
+	sys
+	`
+	p, err := pipeline.RunProgram(src, pipeline.StudentConfig(), 10000, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("$8 =", p.Machine().Regs[8])
+	fmt.Println("retired =", p.Stats.Insts)
+	// Output:
+	// $8 = 48
+	// retired = 5
+}

@@ -1,0 +1,80 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Stage occupancy tracing: the textbook pipeline diagram, one row per
+// cycle, one column per stage. This is the software analog of watching the
+// Verilog pipeline latches in a waveform viewer — the debugging view the
+// students leaned on for "pipeline handling of conditional control and
+// data dependences", the difficulties the paper reports.
+
+// StageNames returns the stage labels for this configuration.
+func (p *Pipeline) StageNames() []string {
+	if p.cfg.Stages == 4 {
+		return []string{"IF", "ID", "EXM", "WB"}
+	}
+	return []string{"IF", "ID", "EX", "MEM", "WB"}
+}
+
+// Occupancy renders the start-of-cycle contents of each stage: the
+// instruction's disassembly, "--" for a bubble, and a "*" suffix while a
+// multi-cycle operation holds EX.
+func (p *Pipeline) Occupancy() []string {
+	out := make([]string, len(p.lat))
+	for i, s := range p.lat {
+		switch {
+		case !s.valid:
+			out[i] = "--"
+		case s.decodeErr != nil:
+			out[i] = "<bad>"
+		default:
+			text := s.inst.String()
+			if i == p.exIdx() && s.remaining > 1 {
+				text += " *"
+			}
+			out[i] = text
+		}
+	}
+	return out
+}
+
+// Tracer receives the stage occupancy at the start of every cycle.
+type Tracer func(cycle uint64, stages []string)
+
+// SetTracer installs (or clears, with nil) a per-cycle occupancy hook.
+func (p *Pipeline) SetTracer(t Tracer) { p.tracer = t }
+
+// WriteTracer returns a Tracer that renders an aligned text diagram to w,
+// emitting a header row on the first cycle.
+func (p *Pipeline) WriteTracer(w io.Writer) Tracer {
+	names := p.StageNames()
+	const col = 18
+	wrote := false
+	return func(cycle uint64, stages []string) {
+		if !wrote {
+			wrote = true
+			fmt.Fprintf(w, "%6s", "cycle")
+			for _, n := range names {
+				fmt.Fprintf(w, "  %-*s", col, n)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%6d", cycle)
+		for _, s := range stages {
+			if len(s) > col {
+				s = s[:col]
+			}
+			fmt.Fprintf(w, "  %-*s", col, s)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// trimTraceLine is a test helper: collapse runs of spaces.
+func trimTraceLine(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,161 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tangled/internal/asm"
+)
+
+func asmMust(src string) (*asm.Program, error) { return asm.Assemble(src) }
+
+func TestStageNames(t *testing.T) {
+	p5, _ := New(DefaultConfig())
+	if got := p5.StageNames(); len(got) != 5 || got[2] != "EX" {
+		t.Errorf("5-stage names: %v", got)
+	}
+	p4, _ := New(StudentConfig())
+	if got := p4.StageNames(); len(got) != 4 || got[2] != "EXM" {
+		t.Errorf("4-stage names: %v", got)
+	}
+}
+
+// TestTraceDiagonalFlow: an instruction appears in successive stages on
+// successive cycles — the diagonal of the textbook diagram.
+func TestTraceDiagonalFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 4
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	p.SetTracer(func(cycle uint64, stages []string) {
+		cp := make([]string, len(stages))
+		copy(cp, stages)
+		rows = append(rows, cp)
+	})
+	prog, err := asmMust("lex $1,5\nlex $2,6\nlex $0,0\nsys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// "lex $1,5" occupies IF during cycle 2 (rows index 1: the IF latch is
+	// filled at the end of cycle 1) and then marches one stage per cycle.
+	for i := 0; i < 5; i++ {
+		row := rows[1+i]
+		if row[i] != "lex $1,5" {
+			t.Errorf("cycle %d stage %d = %q, want lex $1,5", 2+i, i, row[i])
+		}
+	}
+	// Its successor rides one stage behind.
+	if rows[3][1] != "lex $2,6" {
+		t.Errorf("successor misplaced: %v", rows[3])
+	}
+}
+
+func TestTraceShowsBubbles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 4
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawBubbleAfterEX bool
+	p.SetTracer(func(cycle uint64, stages []string) {
+		if stages[2] == "--" && cycle > 3 && stages[4] != "--" {
+			sawBubbleAfterEX = true
+		}
+	})
+	// Load-use hazard injects a bubble into EX.
+	prog, err := asmMust(`
+	lex $2,100
+	store $2,$2
+	load $3,$2
+	add $3,$3
+	lex $0,0
+	sys
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.LoadUseStalls != 1 {
+		t.Fatalf("expected one load-use stall, got %+v", p.Stats)
+	}
+	if !sawBubbleAfterEX {
+		t.Error("bubble never visible in trace")
+	}
+}
+
+func TestWriteTracerFormatting(t *testing.T) {
+	cfg := StudentConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	p.SetTracer(p.WriteTracer(&buf))
+	prog, err := asmMust("and @1,@2,@3\nlex $0,0\nsys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("trace too short:\n%s", out)
+	}
+	if trimTraceLine(lines[0]) != "cycle IF ID EXM WB" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "qand @1,@2,@3") {
+		t.Errorf("instruction text missing:\n%s", out)
+	}
+}
+
+// TestTraceMultiCycleMarker: the EX-busy star shows while next holds EX.
+func TestTraceMultiCycleMarker(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 8
+	cfg.QatNextLatency = 3
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starred int
+	p.SetTracer(func(cycle uint64, stages []string) {
+		if strings.HasSuffix(stages[2], "*") {
+			starred++
+		}
+	})
+	prog, err := asmMust("had @1,3\nlex $1,0\nnext $1,@1\nlex $0,0\nsys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if starred != 2 { // latency 3 = 2 held cycles with the marker
+		t.Errorf("busy marker shown %d times, want 2", starred)
+	}
+}

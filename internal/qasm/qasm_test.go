@@ -1,0 +1,122 @@
+package qasm
+
+import (
+	"testing"
+
+	"tangled/internal/compile"
+	"tangled/internal/pipeline"
+)
+
+func TestRunFunctional(t *testing.T) {
+	r, err := RunFunctional("lex $1,21\nadd $1,$1\nlex $0,1\nsys\nlex $0,0\nsys\n", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Regs[1] != 42 {
+		t.Errorf("$1 = %d", r.Regs[1])
+	}
+	if r.Output != "42\n" {
+		t.Errorf("output %q", r.Output)
+	}
+	if r.Insts != 6 {
+		t.Errorf("insts = %d", r.Insts)
+	}
+}
+
+func TestRunPipelinedAgreesWithFunctional(t *testing.T) {
+	src := `
+	had @1,2
+	lex $1,0
+	next $1,@1
+	lex $2,7
+	mul $2,$1
+	lex $0,0
+	sys
+	`
+	f, err := RunFunctional(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunPipelined(src, pipeline.StudentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Regs != p.Regs {
+		t.Fatalf("register files differ: %v vs %v", f.Regs, p.Regs)
+	}
+	if p.Pipe == nil || p.Pipe.Cycles < p.Insts {
+		t.Error("missing or bogus pipeline stats")
+	}
+}
+
+func TestFactorToolchain(t *testing.T) {
+	cfg := pipeline.StudentConfig()
+	rep, err := Factor(15, 4, 4, compile.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Factors[0] != 5 || rep.Factors[1] != 3 {
+		t.Fatalf("factors %v", rep.Factors)
+	}
+	if rep.QatInsts == 0 || rep.RegsUsed == 0 || rep.Result.Pipe.Cycles == 0 {
+		t.Error("missing metrics")
+	}
+}
+
+func TestFactorToolchain221(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	rep, err := Factor(221, 8, 8, compile.Options{Reuse: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := uint64(rep.Factors[0]), uint64(rep.Factors[1])
+	if p*q != 221 {
+		t.Fatalf("factors %v", rep.Factors)
+	}
+}
+
+func TestFactorRejectsComposite(t *testing.T) {
+	// 7 is prime: no nontrivial factorization channels exist after the
+	// trivial-skip, so the measured "factors" cannot multiply to 7.
+	if _, err := Factor(7, 4, 4, compile.Options{}, pipeline.StudentConfig()); err == nil {
+		t.Fatal("factoring a prime reported success")
+	}
+}
+
+func TestAssembleReexport(t *testing.T) {
+	if _, err := Assemble("sys\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assemble("bogus\n"); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestRunFunctionalErrors(t *testing.T) {
+	if _, err := RunFunctional("bogus\n", 4); err == nil {
+		t.Error("assembly error not propagated")
+	}
+	if _, err := RunFunctional("spin: br spin\n", 4); err == nil {
+		t.Error("non-halting program not reported")
+	}
+}
+
+func TestRunPipelinedErrors(t *testing.T) {
+	cfg := pipeline.StudentConfig()
+	if _, err := RunPipelined("bogus\n", cfg); err == nil {
+		t.Error("assembly error not propagated")
+	}
+	bad := cfg
+	bad.Stages = 7
+	if _, err := RunPipelined("sys\n", bad); err == nil {
+		t.Error("bad config not rejected")
+	}
+}
+
+func TestFactorErrors(t *testing.T) {
+	cfg := pipeline.StudentConfig()
+	// Operand bits exceeding ways fail at generation.
+	if _, err := Factor(15, 9, 9, compile.Options{}, cfg); err == nil {
+		t.Error("oversized operands accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Package qat models the architectural state of the Qat coprocessor: 256
+// AoB registers (@0..@255) and the execution semantics of the Table 3
+// instructions. Qat has no path to host memory — "all AoB values are
+// exclusively held in Qat coprocessor registers" — so this is the complete
+// state.
+//
+// The register width is a construction parameter: 16 ways (65,536-bit
+// registers) for the paper's full design, 8 ways for the student versions,
+// and anything smaller for exhaustive testing.
+package qat
+
+import (
+	"fmt"
+
+	"tangled/internal/aob"
+	"tangled/internal/energy"
+	"tangled/internal/isa"
+)
+
+// Coprocessor is one Qat instance.
+type Coprocessor struct {
+	ways int
+	regs [isa.NumQRegs]*aob.Vector
+
+	// reserved marks registers exposed as hard-wired constants (the
+	// Section 5 simplification); writes to them report an error.
+	reserved [isa.NumQRegs]bool
+
+	// Ops counts executed Qat operations, by opcode.
+	Ops map[isa.Op]uint64
+
+	// Meter, when non-nil, accumulates switching/erasure energy proxies
+	// for every executed operation (see package energy).
+	Meter *energy.Meter
+}
+
+// New returns a Qat coprocessor with ways-way entanglement and all
+// registers cleared.
+func New(ways int) *Coprocessor {
+	q := &Coprocessor{ways: ways, Ops: make(map[isa.Op]uint64)}
+	for i := range q.regs {
+		q.regs[i] = aob.New(ways)
+	}
+	return q
+}
+
+// NewWithConstants returns a coprocessor implementing the paper's Section 5
+// simplification: @0 hard-wired to 0, @1 to 1, and @2..@(2+ways-1) to the
+// Hadamard patterns H0..H(ways-1), replacing the zero/one/had instructions
+// with constant-initialized registers. The reserved registers reject
+// writes.
+func NewWithConstants(ways int) *Coprocessor {
+	q := New(ways)
+	q.regs[1].One()
+	q.reserved[0], q.reserved[1] = true, true
+	for k := 0; k < ways; k++ {
+		q.regs[2+k].Had(k)
+		q.reserved[2+k] = true
+	}
+	return q
+}
+
+// Ways returns the entanglement degree of the register file.
+func (q *Coprocessor) Ways() int { return q.ways }
+
+// ConstZeroReg returns the register hard-wired to 0 under the
+// NewWithConstants convention.
+func ConstZeroReg() uint8 { return 0 }
+
+// ConstOneReg returns the register hard-wired to all-ones under the
+// NewWithConstants convention.
+func ConstOneReg() uint8 { return 1 }
+
+// ConstHadReg returns the register hard-wired to Hadamard pattern k under
+// the NewWithConstants convention.
+func ConstHadReg(k int) uint8 { return uint8(2 + k) }
+
+// Reg exposes register qa for inspection (tests, tracing). The returned
+// vector is live state; callers must not mutate it.
+func (q *Coprocessor) Reg(qa uint8) *aob.Vector { return q.regs[qa] }
+
+// SetReg overwrites register qa (test fixture helper; real programs build
+// values with gates).
+func (q *Coprocessor) SetReg(qa uint8, v *aob.Vector) {
+	if v.Ways() != q.ways {
+		panic(fmt.Sprintf("qat: vector ways %d != coprocessor ways %d", v.Ways(), q.ways))
+	}
+	q.regs[qa] = v.Clone()
+}
+
+// Reset clears all non-reserved registers.
+func (q *Coprocessor) Reset() {
+	for i := range q.regs {
+		if !q.reserved[i] {
+			q.regs[i].Zero()
+		}
+	}
+	q.Ops = make(map[isa.Op]uint64)
+}
+
+func (q *Coprocessor) checkWrite(qa uint8) error {
+	if q.reserved[qa] {
+		return fmt.Errorf("qat: write to reserved constant register @%d", qa)
+	}
+	return nil
+}
+
+// Exec executes one Qat instruction. rd carries the Tangled register value
+// consumed by meas/next/pop; the returned value and flag report a Tangled
+// register write-back (only those three ops produce one).
+func (q *Coprocessor) Exec(inst isa.Inst, rd uint16) (out uint16, writes bool, err error) {
+	q.Ops[inst.Op]++
+	a := q.regs[inst.QA]
+	var snapA, snapB *aob.Vector
+	if q.Meter != nil {
+		switch inst.Op {
+		case isa.OpQMeas, isa.OpQNext, isa.OpQPop:
+			q.Meter.Record(inst.Op)
+		case isa.OpQSwap, isa.OpQCswap:
+			snapA = a.Clone()
+			snapB = q.regs[inst.QB].Clone()
+		default:
+			snapA = a.Clone()
+		}
+	}
+	defer func() {
+		if q.Meter == nil || err != nil || snapA == nil {
+			return
+		}
+		if snapB != nil {
+			q.Meter.Record(inst.Op, [2]*aob.Vector{snapA, q.regs[inst.QA]},
+				[2]*aob.Vector{snapB, q.regs[inst.QB]})
+			return
+		}
+		q.Meter.Record(inst.Op, [2]*aob.Vector{snapA, q.regs[inst.QA]})
+	}()
+	switch inst.Op {
+	case isa.OpQZero:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.Zero()
+	case isa.OpQOne:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.One()
+	case isa.OpQNot:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.Not()
+	case isa.OpQHad:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		if int(inst.K) >= q.ways {
+			return 0, false, fmt.Errorf("qat: had pattern %d exceeds %d-way hardware", inst.K, q.ways)
+		}
+		a.Had(int(inst.K))
+	case isa.OpQAnd:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.And(q.regs[inst.QB], q.regs[inst.QC])
+	case isa.OpQOr:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.Or(q.regs[inst.QB], q.regs[inst.QC])
+	case isa.OpQXor:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.Xor(q.regs[inst.QB], q.regs[inst.QC])
+	case isa.OpQCnot:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.CNot(q.regs[inst.QB])
+	case isa.OpQCcnot:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		a.CCNot(q.regs[inst.QB], q.regs[inst.QC])
+	case isa.OpQSwap:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		if err := q.checkWrite(inst.QB); err != nil {
+			return 0, false, err
+		}
+		a.Swap(q.regs[inst.QB])
+	case isa.OpQCswap:
+		if err := q.checkWrite(inst.QA); err != nil {
+			return 0, false, err
+		}
+		if err := q.checkWrite(inst.QB); err != nil {
+			return 0, false, err
+		}
+		a.CSwap(q.regs[inst.QB], q.regs[inst.QC])
+	case isa.OpQMeas:
+		return uint16(a.Meas(uint64(rd))), true, nil
+	case isa.OpQNext:
+		return uint16(a.Next(uint64(rd))), true, nil
+	case isa.OpQPop:
+		// pop counts 1s strictly after the given channel; with 16-way
+		// hardware the count past channel 0 fits 16 bits (max 65535).
+		return uint16(a.PopAfter(uint64(rd))), true, nil
+	default:
+		return 0, false, fmt.Errorf("qat: not a Qat op: %s", inst.Op.Name())
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,69 @@
+package re
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genPattern composes Hadamards into a pseudo-random compressed pattern.
+// Channel sets stay high (>= chunkWays) so run counts stay small.
+func genPattern(s *Space, seed uint64) *Pattern {
+	r := rand.New(rand.NewSource(int64(seed)))
+	pick := func() int { return s.ChunkWays() + r.Intn(s.Ways()-s.ChunkWays()) }
+	p := s.Had(pick())
+	for i := 0; i < 2+r.Intn(3); i++ {
+		q := s.Had(pick())
+		switch r.Intn(3) {
+		case 0:
+			p = p.And(q)
+		case 1:
+			p = p.Or(q)
+		default:
+			p = p.Xor(q)
+		}
+	}
+	return p
+}
+
+func TestBooleanAlgebraProperties(t *testing.T) {
+	s := MustSpace(20, 8)
+	f := func(sa, sb uint64) bool {
+		a, b := genPattern(s, sa), genPattern(s, sb)
+		if !a.And(b).Equal(b.And(a)) || !a.Or(b).Equal(b.Or(a)) {
+			return false
+		}
+		if !a.Or(a.And(b)).Equal(a) { // absorption
+			return false
+		}
+		if a.And(a.Not()).Any() || !a.Or(a.Not()).All() { // complement
+			return false
+		}
+		// Inclusion-exclusion on pop.
+		if a.Or(b).Pop()+a.And(b).Pop() != a.Pop()+b.Pop() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlatVsTreeAgreementProperty(t *testing.T) {
+	// Flat RLE and the exhaustive bit model agree on derived quantities.
+	s := MustSpace(12, 4)
+	f := func(seed uint64) bool {
+		p := genPattern(s, seed)
+		var pop uint64
+		for ch := uint64(0); ch < s.Channels(); ch++ {
+			if p.Get(ch) {
+				pop++
+			}
+		}
+		return pop == p.Pop()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,512 @@
+// Package re implements the regular-expression (run-length) compressed pbit
+// representation from Section 1.2 of the Tangled paper and the LCPC'20
+// software-only PBP prototype it references.
+//
+// An AoB vector for E-way entanglement needs 2^E bits, which stops being
+// practical somewhere around E = 16 — the paper's stated scaling limit for
+// direct AoB hardware. The PBP model therefore represents higher degrees of
+// entanglement as a run-length-encoded sequence of fixed-size AoB chunks:
+// each chunk is a "symbol" of the regular expression, and repetition counts
+// compress the (typically very low entropy) pattern. The software prototype
+// used 4096-bit chunks; the Tangled/Qat hardware is designed so that its
+// 65,536-bit AoB registers can serve as the symbols.
+//
+// Operations work directly on the compressed form: a channel-wise logic
+// operation between two patterns walks their run lists in lockstep and
+// combines at most one pair of distinct symbols per overlapping run, with a
+// memo table so each distinct symbol pair is combined once. That is the
+// "partially symbolic parallel execution" that gives PBP its (up to
+// exponential) advantage over materializing full vectors.
+//
+// Limitation: this package implements flat run-length encoding, the
+// simplest member of the paper's regular-expression family. A pattern whose
+// period is close to the chunk size (e.g. Had(k) for k just above
+// ChunkWays) expands to up to 2^(ways-k-1+1) alternating runs and gains
+// nothing from compression; the LCPC'20 prototype's nested REs would
+// compress those too. Callers layering above 16-way AoB hardware normally
+// use chunkWays = 16 and high channel sets, where runs stay few.
+package re
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"tangled/internal/aob"
+)
+
+// MaxWays bounds the total entanglement a Space may support. Channel
+// numbers must fit in a uint64 with room for arithmetic.
+const MaxWays = 62
+
+// Space defines the geometry of a family of patterns — total entanglement
+// ways and per-chunk ways — and owns the symbol intern table and the
+// per-operation memo caches. Patterns from different Spaces cannot be
+// combined. A Space is not safe for concurrent use; PBP execution, like the
+// Qat coprocessor, is a single instruction stream.
+type Space struct {
+	ways      int // total entanglement degree E
+	chunkWays int // each symbol covers 2^chunkWays channels
+
+	symbols map[string]*aob.Vector
+	memo    map[memoKey]*aob.Vector
+
+	zeroSym *aob.Vector
+	oneSym  *aob.Vector
+}
+
+type memoKey struct {
+	op   byte // '&', '|', '^', '~' (b nil for '~')
+	a, b *aob.Vector
+}
+
+// NewSpace creates a Space for ways-way entanglement built from chunks of
+// 2^chunkWays channels. chunkWays must be in [0, aob.MaxWays] and must not
+// exceed ways; ways must not exceed MaxWays.
+func NewSpace(ways, chunkWays int) (*Space, error) {
+	if chunkWays < 0 || chunkWays > aob.MaxWays {
+		return nil, fmt.Errorf("re: chunkWays %d out of range [0,%d]", chunkWays, aob.MaxWays)
+	}
+	if ways < chunkWays {
+		return nil, fmt.Errorf("re: ways %d smaller than chunkWays %d", ways, chunkWays)
+	}
+	if ways > MaxWays {
+		return nil, fmt.Errorf("re: ways %d exceeds maximum %d", ways, MaxWays)
+	}
+	s := &Space{
+		ways:      ways,
+		chunkWays: chunkWays,
+		symbols:   make(map[string]*aob.Vector),
+		memo:      make(map[memoKey]*aob.Vector),
+	}
+	s.zeroSym = s.intern(aob.New(chunkWays))
+	s.oneSym = s.intern(aob.OneVector(chunkWays))
+	return s, nil
+}
+
+// MustSpace is NewSpace for statically valid geometry; it panics on error.
+func MustSpace(ways, chunkWays int) *Space {
+	s, err := NewSpace(ways, chunkWays)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ways returns the total entanglement degree.
+func (s *Space) Ways() int { return s.ways }
+
+// ChunkWays returns the per-symbol entanglement degree.
+func (s *Space) ChunkWays() int { return s.chunkWays }
+
+// Channels returns the total channel count 2^ways.
+func (s *Space) Channels() uint64 { return uint64(1) << uint(s.ways) }
+
+// chunks returns how many symbol positions a pattern spans.
+func (s *Space) chunks() uint64 { return uint64(1) << uint(s.ways-s.chunkWays) }
+
+// chunkChannels returns channels per symbol.
+func (s *Space) chunkChannels() uint64 { return uint64(1) << uint(s.chunkWays) }
+
+// SymbolCount reports how many distinct chunk symbols have been interned —
+// a direct measure of how much sharing compression achieves.
+func (s *Space) SymbolCount() int { return len(s.symbols) }
+
+// intern returns the canonical copy of sym, adopting it if unseen. Callers
+// must not mutate a vector after interning it.
+func (s *Space) intern(sym *aob.Vector) *aob.Vector {
+	key := symKey(sym)
+	if got, ok := s.symbols[key]; ok {
+		return got
+	}
+	s.symbols[key] = sym
+	return sym
+}
+
+func symKey(v *aob.Vector) string {
+	buf := make([]byte, 8*v.NumWords())
+	for i := 0; i < v.NumWords(); i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:], v.Word(i))
+	}
+	return string(buf)
+}
+
+// run is one maximal repetition: count copies of sym.
+type run struct {
+	sym   *aob.Vector
+	count uint64
+}
+
+// Pattern is a compressed pbit value of the Space's entanglement degree:
+// the concatenation over runs of count repetitions of each symbol, least
+// significant chunk first, always covering exactly 2^ways channels.
+type Pattern struct {
+	sp   *Space
+	runs []run
+}
+
+// Zero returns the all-zeros pattern (one run).
+func (s *Space) Zero() *Pattern {
+	return &Pattern{sp: s, runs: []run{{s.zeroSym, s.chunks()}}}
+}
+
+// One returns the all-ones pattern (one run).
+func (s *Space) One() *Pattern {
+	return &Pattern{sp: s, runs: []run{{s.oneSym, s.chunks()}}}
+}
+
+// Had returns the k-th standard Hadamard pattern: channel e holds bit k of
+// e. For k below chunkWays this is a single repeated symbol; above, it is
+// alternating all-zero/all-one chunk runs — both maximally compressed.
+func (s *Space) Had(k int) *Pattern {
+	if k < 0 || k >= s.ways {
+		panic(fmt.Sprintf("re: had index %d out of range [0,%d)", k, s.ways))
+	}
+	if k < s.chunkWays {
+		sym := s.intern(aob.HadVector(s.chunkWays, k))
+		return &Pattern{sp: s, runs: []run{{sym, s.chunks()}}}
+	}
+	runLen := uint64(1) << uint(k-s.chunkWays)
+	pairs := s.chunks() / (2 * runLen)
+	runs := make([]run, 0, 2*pairs)
+	for i := uint64(0); i < pairs; i++ {
+		runs = append(runs, run{s.zeroSym, runLen}, run{s.oneSym, runLen})
+	}
+	return &Pattern{sp: s, runs: runs}
+}
+
+// FromAoB wraps a full-width AoB vector (ways == chunkWays case) or chops a
+// wider-than-chunk vector is not supported; the vector's ways must equal
+// the space's chunkWays and the space's total chunks times chunk size give
+// the repetition. Used mainly by tests to build arbitrary fixtures.
+func (s *Space) FromAoB(v *aob.Vector) (*Pattern, error) {
+	if v.Ways() != s.chunkWays {
+		return nil, fmt.Errorf("re: vector ways %d != chunkWays %d", v.Ways(), s.chunkWays)
+	}
+	sym := s.intern(v.Clone())
+	return &Pattern{sp: s, runs: []run{{sym, s.chunks()}}}, nil
+}
+
+// FromBits builds a pattern from an explicit channel-0-first bit slice of
+// exactly 2^ways bits. Exponentially expensive by design; test helper.
+func (s *Space) FromBits(bits []bool) (*Pattern, error) {
+	if uint64(len(bits)) != s.Channels() {
+		return nil, fmt.Errorf("re: got %d bits, want %d", len(bits), s.Channels())
+	}
+	cc := s.chunkChannels()
+	var runs []run
+	for ci := uint64(0); ci < s.chunks(); ci++ {
+		v := aob.New(s.chunkWays)
+		for off := uint64(0); off < cc; off++ {
+			v.Set(off, bits[ci*cc+off])
+		}
+		sym := s.intern(v)
+		if n := len(runs); n > 0 && runs[n-1].sym == sym {
+			runs[n-1].count++
+		} else {
+			runs = append(runs, run{sym, 1})
+		}
+	}
+	return &Pattern{sp: s, runs: runs}, nil
+}
+
+// Space returns the pattern's owning Space.
+func (p *Pattern) Space() *Space { return p.sp }
+
+// NumRuns returns the number of maximal runs — the compressed length.
+func (p *Pattern) NumRuns() int { return len(p.runs) }
+
+// StorageBits estimates the compressed footprint in bits: per run, one
+// chunk-symbol reference plus a repeat count (we charge the full chunk for
+// each *distinct* symbol via the Space table, and 128 bits of run header).
+// CompressionRatio compares against the uncompressed 2^ways bits.
+func (p *Pattern) StorageBits() uint64 {
+	seen := map[*aob.Vector]bool{}
+	var bits uint64
+	for _, r := range p.runs {
+		bits += 128 // symbol reference + repeat count
+		if !seen[r.sym] {
+			seen[r.sym] = true
+			bits += p.sp.chunkChannels()
+		}
+	}
+	return bits
+}
+
+// CompressionRatio returns uncompressed/compressed size; higher is better.
+func (p *Pattern) CompressionRatio() float64 {
+	return float64(p.sp.Channels()) / float64(p.StorageBits())
+}
+
+func (p *Pattern) mustShareSpace(q *Pattern) {
+	if p.sp != q.sp {
+		panic("re: patterns from different spaces")
+	}
+}
+
+// combine walks two run lists in lockstep applying the memoized chunk op.
+func (s *Space) combine(op byte, a, b *Pattern, f func(x, y *aob.Vector) *aob.Vector) *Pattern {
+	var out []run
+	ai, bi := 0, 0
+	aLeft, bLeft := uint64(0), uint64(0)
+	if len(a.runs) > 0 {
+		aLeft = a.runs[0].count
+	}
+	if len(b.runs) > 0 {
+		bLeft = b.runs[0].count
+	}
+	for ai < len(a.runs) && bi < len(b.runs) {
+		n := aLeft
+		if bLeft < n {
+			n = bLeft
+		}
+		sym := s.memoBinary(op, a.runs[ai].sym, b.runs[bi].sym, f)
+		if m := len(out); m > 0 && out[m-1].sym == sym {
+			out[m-1].count += n
+		} else {
+			out = append(out, run{sym, n})
+		}
+		aLeft -= n
+		bLeft -= n
+		if aLeft == 0 {
+			ai++
+			if ai < len(a.runs) {
+				aLeft = a.runs[ai].count
+			}
+		}
+		if bLeft == 0 {
+			bi++
+			if bi < len(b.runs) {
+				bLeft = b.runs[bi].count
+			}
+		}
+	}
+	return &Pattern{sp: s, runs: out}
+}
+
+func (s *Space) memoBinary(op byte, x, y *aob.Vector, f func(x, y *aob.Vector) *aob.Vector) *aob.Vector {
+	k := memoKey{op, x, y}
+	if got, ok := s.memo[k]; ok {
+		return got
+	}
+	sym := s.intern(f(x, y))
+	s.memo[k] = sym
+	// Symmetric ops hit from either operand order.
+	s.memo[memoKey{op, y, x}] = sym
+	return sym
+}
+
+// And returns p AND q channel-wise.
+func (p *Pattern) And(q *Pattern) *Pattern {
+	p.mustShareSpace(q)
+	return p.sp.combine('&', p, q, func(x, y *aob.Vector) *aob.Vector {
+		v := aob.New(p.sp.chunkWays)
+		v.And(x, y)
+		return v
+	})
+}
+
+// Or returns p OR q channel-wise.
+func (p *Pattern) Or(q *Pattern) *Pattern {
+	p.mustShareSpace(q)
+	return p.sp.combine('|', p, q, func(x, y *aob.Vector) *aob.Vector {
+		v := aob.New(p.sp.chunkWays)
+		v.Or(x, y)
+		return v
+	})
+}
+
+// Xor returns p XOR q channel-wise.
+func (p *Pattern) Xor(q *Pattern) *Pattern {
+	p.mustShareSpace(q)
+	return p.sp.combine('^', p, q, func(x, y *aob.Vector) *aob.Vector {
+		v := aob.New(p.sp.chunkWays)
+		v.Xor(x, y)
+		return v
+	})
+}
+
+// Not returns the channel-wise complement of p.
+func (p *Pattern) Not() *Pattern {
+	s := p.sp
+	out := make([]run, 0, len(p.runs))
+	for _, r := range p.runs {
+		k := memoKey{'~', r.sym, nil}
+		sym, ok := s.memo[k]
+		if !ok {
+			v := r.sym.Clone()
+			v.Not()
+			sym = s.intern(v)
+			s.memo[k] = sym
+		}
+		if m := len(out); m > 0 && out[m-1].sym == sym {
+			out[m-1].count += r.count
+		} else {
+			out = append(out, run{sym, r.count})
+		}
+	}
+	return &Pattern{sp: s, runs: out}
+}
+
+// Get returns the bit at channel ch (modulo the channel count).
+func (p *Pattern) Get(ch uint64) bool {
+	ch &= p.sp.Channels() - 1
+	ci := ch >> uint(p.sp.chunkWays)
+	off := ch & (p.sp.chunkChannels() - 1)
+	for _, r := range p.runs {
+		if ci < r.count {
+			return r.sym.Get(off)
+		}
+		ci -= r.count
+	}
+	panic("re: runs do not cover pattern")
+}
+
+// Meas returns Get as 0/1, matching the Qat meas instruction.
+func (p *Pattern) Meas(ch uint64) uint64 {
+	if p.Get(ch) {
+		return 1
+	}
+	return 0
+}
+
+// Next returns the lowest channel strictly greater than ch holding a 1, or
+// 0 if none — the Qat next instruction lifted to the compressed form. It
+// runs in O(runs) time plus one chunk probe, never decompressing.
+func (p *Pattern) Next(ch uint64) uint64 {
+	ch &= p.sp.Channels() - 1
+	cw := uint(p.sp.chunkWays)
+	cc := p.sp.chunkChannels()
+	targetChunk := (ch + 1) >> cw
+	startOff := (ch + 1) & (cc - 1)
+	var base uint64 // global chunk index at start of current run
+	for _, r := range p.runs {
+		end := base + r.count
+		if end <= targetChunk {
+			base = end
+			continue
+		}
+		// The run overlaps chunk indices [max(base,targetChunk), end).
+		first := base
+		if targetChunk > first {
+			first = targetChunk
+		}
+		// Within the first candidate chunk, a partial search may apply.
+		off := uint64(0)
+		if first == targetChunk {
+			off = startOff
+		}
+		if off != 0 {
+			// Channels >= off within chunk `first`.
+			if r.sym.Get(off) {
+				return first<<cw + off
+			}
+			if n := r.sym.Next(off); n != 0 {
+				return first<<cw + n
+			}
+			first++
+			if first >= end {
+				base = end
+				continue
+			}
+		}
+		// Whole chunks from `first`: if the symbol has any 1 its first
+		// position answers immediately.
+		if r.sym.Get(0) {
+			return first << cw
+		}
+		if n := r.sym.Next(0); n != 0 {
+			return first<<cw + n
+		}
+		base = end
+	}
+	return 0
+}
+
+// PopAfter counts 1 bits in channels strictly greater than ch.
+func (p *Pattern) PopAfter(ch uint64) uint64 {
+	ch &= p.sp.Channels() - 1
+	cw := uint(p.sp.chunkWays)
+	cc := p.sp.chunkChannels()
+	targetChunk := (ch + 1) >> cw
+	startOff := (ch + 1) & (cc - 1)
+	var base, total uint64
+	for _, r := range p.runs {
+		end := base + r.count
+		if end <= targetChunk {
+			base = end
+			continue
+		}
+		first := base
+		if targetChunk > first {
+			first = targetChunk
+		}
+		whole := end - first
+		if first == targetChunk && startOff != 0 {
+			// Partial chunk: PopAfter(startOff-1) counts offsets >= startOff.
+			total += r.sym.PopAfter(startOff - 1)
+			whole--
+		}
+		total += whole * r.sym.Pop()
+		base = end
+	}
+	return total
+}
+
+// Pop returns the total count of 1 channels, computed per-run — O(runs)
+// instead of O(2^ways).
+func (p *Pattern) Pop() uint64 {
+	var total uint64
+	for _, r := range p.runs {
+		total += r.count * r.sym.Pop()
+	}
+	return total
+}
+
+// Any reports whether any channel holds a 1.
+func (p *Pattern) Any() bool {
+	for _, r := range p.runs {
+		if r.sym.Pop() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// All reports whether every channel holds a 1.
+func (p *Pattern) All() bool {
+	for _, r := range p.runs {
+		if r.sym.Pop() != r.sym.Channels() {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports channel-wise equality. Because symbols are interned and
+// runs maximal, equality is a run-list comparison.
+func (p *Pattern) Equal(q *Pattern) bool {
+	if p.sp != q.sp || len(p.runs) != len(q.runs) {
+		return false
+	}
+	for i := range p.runs {
+		if p.runs[i].sym != q.runs[i].sym || p.runs[i].count != q.runs[i].count {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the run structure, e.g. "(0^2)(1^2)" for 0011 with 1-way
+// chunks — echoing the paper's 0²1² notation.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	for _, r := range p.runs {
+		sym := r.sym.String()
+		if r.sym.Channels() > 16 {
+			sym = fmt.Sprintf("S%p", r.sym)
+		}
+		fmt.Fprintf(&b, "(%s^%d)", sym, r.count)
+	}
+	return b.String()
+}

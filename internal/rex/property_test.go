@@ -1,0 +1,105 @@
+package rex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Boolean-algebra laws property-tested on the tree-compressed patterns.
+// Hash-consing makes each law a pointer comparison, so these also verify
+// canonicalization.
+
+// genPattern builds a pseudo-random pattern from a seed by composing
+// Hadamards — deterministic per seed, structurally varied.
+func genPattern(s *Space, seed uint64) *Pattern {
+	r := rand.New(rand.NewSource(int64(seed)))
+	p := s.Had(r.Intn(s.Ways()))
+	for i := 0; i < 3+r.Intn(4); i++ {
+		q := s.Had(r.Intn(s.Ways()))
+		switch r.Intn(4) {
+		case 0:
+			p = p.And(q)
+		case 1:
+			p = p.Or(q)
+		case 2:
+			p = p.Xor(q)
+		default:
+			p = p.Xor(q.Not())
+		}
+	}
+	return p
+}
+
+func TestBooleanAlgebraProperties(t *testing.T) {
+	s := MustSpace(24, 8)
+	f := func(sa, sb, sc uint64) bool {
+		a, b, c := genPattern(s, sa), genPattern(s, sb), genPattern(s, sc)
+		// Commutativity (pointer-equal thanks to hash-consing).
+		if !a.And(b).Equal(b.And(a)) || !a.Or(b).Equal(b.Or(a)) || !a.Xor(b).Equal(b.Xor(a)) {
+			return false
+		}
+		// Associativity.
+		if !a.And(b.And(c)).Equal(a.And(b).And(c)) {
+			return false
+		}
+		if !a.Xor(b.Xor(c)).Equal(a.Xor(b).Xor(c)) {
+			return false
+		}
+		// Distributivity: a AND (b OR c) == (a AND b) OR (a AND c).
+		if !a.And(b.Or(c)).Equal(a.And(b).Or(a.And(c))) {
+			return false
+		}
+		// Absorption: a OR (a AND b) == a.
+		if !a.Or(a.And(b)).Equal(a) {
+			return false
+		}
+		// Complement: a AND NOT a == 0; a OR NOT a == 1.
+		if a.And(a.Not()).Any() || !a.Or(a.Not()).All() {
+			return false
+		}
+		// Pop is preserved under double complement and consistent with Xor:
+		// pop(a^b) = pop(a) + pop(b) - 2*pop(a&b).
+		if a.Xor(b).Pop() != a.Pop()+b.Pop()-2*a.And(b).Pop() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextPopConsistencyProperty(t *testing.T) {
+	s := MustSpace(18, 6)
+	f := func(seed, probeSeed uint64) bool {
+		p := genPattern(s, seed)
+		r := rand.New(rand.NewSource(int64(probeSeed)))
+		for i := 0; i < 16; i++ {
+			ch := r.Uint64() & (s.Channels() - 1)
+			nx := p.Next(ch)
+			if nx == 0 {
+				// Nothing past ch: PopAfter must agree.
+				if p.PopAfter(ch) != 0 {
+					return false
+				}
+				continue
+			}
+			// nx is the first 1 past ch: it is set, nothing between, and
+			// PopAfter counts it.
+			if !p.Get(nx) || nx <= ch {
+				return false
+			}
+			if p.PopAfter(ch) != p.PopAfter(nx)+1 {
+				return false
+			}
+			if nx > ch+1 && p.PopAfter(ch) != p.PopAfter(nx-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

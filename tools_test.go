@@ -1,0 +1,174 @@
+// Command-line tool tests: build each cmd/ binary and drive it the way a
+// user would, checking the documented contracts (exit codes, outputs,
+// cross-tool composition).
+package tangled_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, stdin string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+func TestToolchainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	asmBin := buildTool(t, dir, "tangled-asm")
+	runBin := buildTool(t, dir, "tangled-run")
+	disBin := buildTool(t, dir, "tangled-dis")
+	recodeBin := buildTool(t, dir, "tangled-recode")
+
+	src := filepath.Join(dir, "prog.asm")
+	if err := os.WriteFile(src, []byte(`
+	had @123,4
+	lex $8,42
+	next $8,@123
+	copy $1,$8
+	lex $0,1
+	sys
+	lex $0,0
+	sys
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Assemble to a hex image.
+	hex := filepath.Join(dir, "prog.hex")
+	if _, stderr, err := runTool(t, asmBin, "", "-o", hex, src); err != nil {
+		t.Fatalf("tangled-asm: %v\n%s", err, stderr)
+	}
+
+	// Run the source directly (functional).
+	out, _, err := runTool(t, runBin, "", src)
+	if err != nil || out != "48\n" {
+		t.Fatalf("tangled-run source: %q %v", out, err)
+	}
+	// Run the hex image on the pipeline with stats.
+	out, stderr, err := runTool(t, runBin, "", "-pipeline", "-stats", hex)
+	if err != nil || out != "48\n" {
+		t.Fatalf("tangled-run pipeline: %q %v", out, err)
+	}
+	if !strings.Contains(stderr, "CPI=") {
+		t.Errorf("missing stats: %q", stderr)
+	}
+
+	// Disassemble and check the worked example survives.
+	out, _, err = runTool(t, disBin, "", hex)
+	if err != nil || !strings.Contains(out, "had @123,4") || !strings.Contains(out, "next $8,@123") {
+		t.Fatalf("tangled-dis: %q %v", out, err)
+	}
+
+	// Transcode to the student encoding and run under -enc student.
+	stHex := filepath.Join(dir, "prog-student.hex")
+	out, _, err = runTool(t, recodeBin, "", hex)
+	if err != nil {
+		t.Fatalf("tangled-recode: %v", err)
+	}
+	if err := os.WriteFile(stHex, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err = runTool(t, runBin, "", "-enc", "student", stHex)
+	if err != nil || out != "48\n" {
+		t.Fatalf("student-encoded run: %q %v", out, err)
+	}
+	// The student image must NOT run under the primary decoder.
+	if _, _, err = runTool(t, runBin, "", stHex); err == nil {
+		t.Fatal("cross-encoding image ran without error")
+	}
+}
+
+func TestQatFactorTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "qatfactor")
+	out, _, err := runTool(t, bin, "", "15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "15 = 5 x 3") {
+		t.Errorf("qatfactor 15: %q", out)
+	}
+	out, _, err = runTool(t, bin, "", "-reuse", "221")
+	if err != nil || !strings.Contains(out, "221 = 17 x 13") {
+		t.Errorf("qatfactor 221: %q %v", out, err)
+	}
+	// -asm emits assembly that reassembles.
+	out, _, err = runTool(t, bin, "", "-asm", "15")
+	if err != nil || !strings.Contains(out, "had @0,0") {
+		t.Errorf("qatfactor -asm: %v", err)
+	}
+	// A prime fails with a diagnostic.
+	if _, _, err = runTool(t, bin, "", "13"); err == nil {
+		t.Error("factoring a prime succeeded")
+	}
+}
+
+func TestQatSubsetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "qatsubset")
+	out, _, err := runTool(t, bin, "", "10", "2", "3", "5", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "solutions: 2 of 16") {
+		t.Errorf("qatsubset: %q", out)
+	}
+	if !strings.Contains(out, "(sum 10)") {
+		t.Errorf("first solution line missing: %q", out)
+	}
+}
+
+func TestExperimentsToolRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "experiments")
+	out, _, err := runTool(t, bin, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"pint_measure(f) prints: [0 1 3 5 15]",
+		"$8 = 48 (paper: 48)",
+		"factors measured:           5 and 3",
+		"221 = 17 x 13",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("experiments output missing %q", frag)
+		}
+	}
+}
