@@ -1,0 +1,278 @@
+// qatfarm drives the concurrent batch-execution engine (internal/farm): it
+// factors a list of semiprimes in parallel through the full Figure 10
+// toolchain, fanning the generated programs across a bounded worker pool of
+// recycled Tangled/Qat machines, and reports per-job results plus aggregate
+// farm statistics.
+//
+// Usage:
+//
+//	qatfarm [-workers N] [-stages N] [-ways N] [-abits N] [-bbits N]
+//	        [-reuse] [-const-regs] [-timeout D] n1 [n2 ...]
+//	qatfarm -bench [-out BENCH_farm.json]
+//
+// Examples:
+//
+//	qatfarm 15 21 33 35 51 65 77 85 91 95      # factor ten semiprimes in parallel
+//	qatfarm -workers 2 -timeout 5s 221 187     # bounded concurrency and deadline
+//	qatfarm -bench                             # write the throughput sweep to BENCH_farm.json
+//
+// The -bench mode runs the same workloads as BenchmarkFarmThroughput (the
+// Figure 10 factoring program on the pipelined machine and the subset-sum
+// search on the functional machine) at worker counts 1/2/4/NumCPU, and
+// writes jobs/s per worker count to a JSON file so future changes have a
+// recorded perf trajectory.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"tangled/internal/asm"
+	"tangled/internal/compile"
+	"tangled/internal/farm"
+	"tangled/internal/pipeline"
+	"tangled/internal/qasm"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS)")
+	stages := flag.Int("stages", 5, "pipeline depth (4 or 5)")
+	ways := flag.Int("ways", 0, "entanglement degree (default abits+bbits)")
+	aBits := flag.Int("abits", 0, "first operand bits (default: fit the largest n)")
+	bBits := flag.Int("bbits", 0, "second operand bits (default abits)")
+	reuse := flag.Bool("reuse", true, "recycle Qat registers (needed beyond ~5x5 bits)")
+	constRegs := flag.Bool("const-regs", false, "use the Section 5 constant-register bank")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the batch (0 = none)")
+	bench := flag.Bool("bench", false, "run the throughput sweep and write the regression file")
+	out := flag.String("out", "BENCH_farm.json", "output file for -bench")
+	flag.Parse()
+
+	if *bench {
+		if err := runBench(*out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: qatfarm [flags] n1 [n2 ...]  (or qatfarm -bench)")
+		os.Exit(2)
+	}
+	ns := make([]uint64, flag.NArg())
+	var biggest uint64
+	for i, arg := range flag.Args() {
+		n, err := strconv.ParseUint(arg, 0, 16)
+		if err != nil || n < 4 {
+			fatal(fmt.Errorf("bad n %q (need a composite >= 4)", arg))
+		}
+		ns[i] = n
+		if n > biggest {
+			biggest = n
+		}
+	}
+
+	ab := *aBits
+	if ab == 0 {
+		for uint64(1)<<uint(ab) <= biggest {
+			ab++
+		}
+	}
+	bb := *bBits
+	if bb == 0 {
+		bb = ab
+	}
+	w := *ways
+	if w == 0 {
+		w = ab + bb
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	copts := compile.Options{Reuse: *reuse, ConstantRegs: *constRegs}
+	pcfg := pipeline.Config{Stages: *stages, Ways: w, Forwarding: true, MulLatency: 1, QatNextLatency: 1}
+	reports, stats, err := qasm.FactorBatch(ctx, ns, ab, bb, copts, pcfg, *workers)
+	for i, n := range ns {
+		rep := reports[i]
+		if rep == nil {
+			fmt.Printf("%d: FAILED\n", n)
+			continue
+		}
+		line := fmt.Sprintf("%d = %d x %d", n, rep.Factors[0], rep.Factors[1])
+		if s := rep.Result.Pipe; s != nil {
+			line += fmt.Sprintf("   (%d qat insts, %d cycles, CPI %.3f)", rep.QatInsts, s.Cycles, s.CPI())
+		}
+		fmt.Println(line)
+	}
+	fmt.Println(stats)
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// benchReport is the schema of BENCH_farm.json.
+type benchReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Generated  string          `json:"generated"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	GoVersion  string          `json:"go_version"`
+	Note       string          `json:"note"`
+	Workloads  []benchWorkload `json:"workloads"`
+}
+
+type benchWorkload struct {
+	Name         string       `json:"name"`
+	JobsPerBatch int          `json:"jobs_per_batch"`
+	Points       []benchPoint `json:"points"`
+	// Speedup4v1 is jobs/s at 4 workers over jobs/s at 1 worker — the
+	// headline scaling figure (meaningful only when num_cpu >= 4).
+	Speedup4v1 float64 `json:"speedup_4_vs_1"`
+}
+
+type benchPoint struct {
+	Workers     int     `json:"workers"`
+	Jobs        uint64  `json:"jobs"`
+	Seconds     float64 `json:"seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
+}
+
+// benchWorkloads mirrors BenchmarkFarmThroughput's workload set.
+func benchWorkloads() ([]struct {
+	name string
+	jobs []farm.Job
+}, error) {
+	const batch = 32
+	factor, err := compile.FactorProgram(15, 8, 4, 4, compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	factorProg, err := asm.Assemble(factor.Asm)
+	if err != nil {
+		return nil, err
+	}
+	subset, err := compile.SubsetSumProgram([]uint64{3, 5, 9, 14, 20, 27, 33, 41}, 50, 8, compile.Options{Reuse: true})
+	if err != nil {
+		return nil, err
+	}
+	subsetProg, err := asm.Assemble(subset.Asm)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(name string, prog *asm.Program, mode farm.Mode) []farm.Job {
+		jobs := make([]farm.Job, batch)
+		for i := range jobs {
+			jobs[i] = farm.Job{Name: fmt.Sprintf("%s-%d", name, i), Prog: prog, Mode: mode,
+				Ways: 8, Pipeline: pipeline.StudentConfig()}
+		}
+		return jobs
+	}
+	return []struct {
+		name string
+		jobs []farm.Job
+	}{
+		{"fig10-factor15-pipelined", mk("factor15", factorProg, farm.Pipelined)},
+		{"subsetsum8-functional", mk("subset", subsetProg, farm.Functional)},
+	}, nil
+}
+
+// measure runs batches at the given worker count until minDuration elapses
+// and returns the aggregated point.
+func measure(jobs []farm.Job, workers int, minDuration time.Duration) (benchPoint, error) {
+	engine := farm.New(workers)
+	if _, warm := engine.Run(context.Background(), jobs); warm.Errors > 0 {
+		return benchPoint{}, fmt.Errorf("warmup batch had %d failures", warm.Errors)
+	}
+	var total farm.Stats
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		_, st := engine.Run(context.Background(), jobs)
+		if st.Errors > 0 {
+			return benchPoint{}, fmt.Errorf("batch had %d failures", st.Errors)
+		}
+		total.Jobs += st.Jobs
+		total.PoolHits += st.PoolHits
+		total.PoolMisses += st.PoolMisses
+	}
+	elapsed := time.Since(start)
+	return benchPoint{
+		Workers:     workers,
+		Jobs:        total.Jobs,
+		Seconds:     elapsed.Seconds(),
+		JobsPerSec:  float64(total.Jobs) / elapsed.Seconds(),
+		PoolHitRate: total.PoolHitRate(),
+	}, nil
+}
+
+func runBench(path string) error {
+	workloads, err := benchWorkloads()
+	if err != nil {
+		return err
+	}
+	sweep := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var workerCounts []int
+	for w := range sweep {
+		workerCounts = append(workerCounts, w)
+	}
+	sort.Ints(workerCounts)
+
+	rep := benchReport{
+		Benchmark:  "FarmThroughput",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "jobs/s per worker count on the Fig 10 factoring and subset-sum workloads; " +
+			"speedup_4_vs_1 is the scaling headline and requires num_cpu >= 4 to be meaningful",
+	}
+	for _, wl := range workloads {
+		w := benchWorkload{Name: wl.name, JobsPerBatch: len(wl.jobs)}
+		var at1, at4 float64
+		for _, workers := range workerCounts {
+			pt, err := measure(wl.jobs, workers, 700*time.Millisecond)
+			if err != nil {
+				return fmt.Errorf("%s at %d workers: %w", wl.name, workers, err)
+			}
+			fmt.Printf("%-26s workers=%-3d %10.0f jobs/s (pool hit rate %.0f%%)\n",
+				wl.name, workers, pt.JobsPerSec, 100*pt.PoolHitRate)
+			w.Points = append(w.Points, pt)
+			switch workers {
+			case 1:
+				at1 = pt.JobsPerSec
+			case 4:
+				at4 = pt.JobsPerSec
+			}
+		}
+		if at1 > 0 {
+			w.Speedup4v1 = at4 / at1
+		}
+		rep.Workloads = append(rep.Workloads, w)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qatfarm:", err)
+	os.Exit(1)
+}

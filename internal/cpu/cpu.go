@@ -11,6 +11,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -95,21 +96,42 @@ func NewWithConstants(ways int) *Machine {
 // Load installs an assembled program image at address 0 and resets the
 // whole machine: PC, registers, memory, statistics, and the Qat register
 // file (its reserved constant bank, if any, is preserved). A machine can
-// therefore be reused across runs deterministically.
+// therefore be reused across runs deterministically — and without
+// reallocating any of its state, which is what makes pooled reuse (package
+// farm) allocation-free at steady state. Host attachments (Out, Trace) are
+// left alone so they can be configured once before repeated loads.
 func (m *Machine) Load(p *asm.Program) error {
 	if len(p.Words) > len(m.Mem) {
 		return fmt.Errorf("cpu: program of %d words exceeds memory", len(p.Words))
 	}
+	m.clearArch()
+	copy(m.Mem, p.Words)
+	return nil
+}
+
+// Reset restores power-on state without loading a program: architectural
+// state is cleared like Load, and the host-side attachments that must not
+// leak between unrelated runs — the sys output writer and the instruction
+// trace hook — are detached. Hardware identity (Enc, RecipLUT, the Qat
+// constant bank) is preserved: it describes which machine this is, not what
+// it last ran. Pooled executors reset a machine before handing it to a new
+// tenant.
+func (m *Machine) Reset() {
+	m.clearArch()
+	m.Out = nil
+	m.Trace = nil
+}
+
+// clearArch zeroes all architectural state in place.
+func (m *Machine) clearArch() {
 	for i := range m.Mem {
 		m.Mem[i] = 0
 	}
-	copy(m.Mem, p.Words)
 	m.Regs = [isa.NumRegs]uint16{}
 	m.PC = 0
 	m.Halted = false
 	m.Stats = Stats{}
 	m.Qat.Reset()
-	return nil
 }
 
 // Fetch decodes the instruction at pc without executing it.
@@ -280,6 +302,43 @@ func (m *Machine) Run(maxSteps uint64) error {
 		}
 		if m.Halted {
 			return nil
+		}
+	}
+	return ErrNoHalt
+}
+
+// ctxCheckInterval is how many instructions RunContext executes between
+// cancellation polls: frequent enough that a runaway program is stopped
+// within microseconds, rare enough that the poll is invisible in throughput.
+const ctxCheckInterval = 2048
+
+// RunContext executes like Run but honors context cancellation, polling ctx
+// every ctxCheckInterval instructions. On cancellation the returned error
+// wraps ctx.Err(), so errors.Is(err, context.DeadlineExceeded) and friends
+// work. The machine is left in a consistent (resumable or reloadable) state.
+func (m *Machine) RunContext(ctx context.Context, maxSteps uint64) error {
+	if ctx == nil || ctx.Done() == nil {
+		return m.Run(maxSteps)
+	}
+	done := ctx.Done()
+	for executed := uint64(0); executed < maxSteps; {
+		n := maxSteps - executed
+		if n > ctxCheckInterval {
+			n = ctxCheckInterval
+		}
+		for i := uint64(0); i < n; i++ {
+			if err := m.Step(); err != nil {
+				return err
+			}
+			if m.Halted {
+				return nil
+			}
+		}
+		executed += n
+		select {
+		case <-done:
+			return fmt.Errorf("cpu: run cancelled after %d instructions: %w", m.Stats.Insts, ctx.Err())
+		default:
 		}
 	}
 	return ErrNoHalt

@@ -1,0 +1,124 @@
+package cpu
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tangled/internal/asm"
+	"tangled/internal/isa"
+)
+
+// These tests pin the pooled-reuse contract: Load fully re-initializes
+// architectural state (and nothing else), Reset additionally detaches the
+// host hooks that must never leak between unrelated tenants of a pooled
+// machine.
+
+const haltSrc = "lex $0,0\nsys\n"
+
+func TestResetClearsStateAndDetachesHostHooks(t *testing.T) {
+	prog, err := asm.Assemble("lex $3,7\nlex $4,5\nlhi $4,0x7F\nstore $3,$4\none @9\nlex $0,1\nlex $1,42\nsys\nlex $0,0\nsys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	traced := 0
+	m := New(4)
+	m.Out = &out
+	m.Trace = func(pc uint16, inst isa.Inst) { traced++ }
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 || traced == 0 {
+		t.Fatal("fixture program produced no observable work")
+	}
+
+	m.Reset()
+	if m.Out != nil || m.Trace != nil {
+		t.Fatal("Reset must detach Out and Trace")
+	}
+	if m.Halted || m.PC != 0 || m.Stats != (Stats{}) {
+		t.Fatalf("Reset left control state: halted=%v pc=%#x stats=%+v", m.Halted, m.PC, m.Stats)
+	}
+	if m.Regs != [isa.NumRegs]uint16{} {
+		t.Fatalf("Reset left registers: %v", m.Regs)
+	}
+	for addr, w := range m.Mem {
+		if w != 0 {
+			t.Fatalf("Reset left memory word %#x at %#x", w, addr)
+		}
+	}
+	if got := m.Qat.Reg(9).Pop(); got != 0 {
+		t.Fatalf("Reset left Qat @9 with population %d", got)
+	}
+}
+
+func TestLoadPreservesHostHooks(t *testing.T) {
+	// The benchmarks (and any configure-once caller) set Out a single time
+	// and Load repeatedly; Load must not detach it.
+	prog, err := asm.Assemble("lex $0,1\nlex $1,3\nsys\nlex $0,0\nsys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m := New(2)
+	m.Out = &out
+	for i := 0; i < 2; i++ {
+		if err := m.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := out.String(); got != "3\n3\n" {
+		t.Fatalf("output across reloads = %q, want %q", got, "3\n3\n")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	prog, err := asm.Assemble("loop:\nadd $1,$2\nbr loop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(2)
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = m.RunContext(ctx, 1<<62)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The machine must remain reusable after cancellation.
+	halt, err := asm.Assemble(haltSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(halt); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunContext(context.Background(), 100); err != nil {
+		t.Fatalf("machine unusable after cancelled run: %v", err)
+	}
+}
+
+func TestRunContextBudget(t *testing.T) {
+	prog, err := asm.Assemble("loop:\nadd $1,$2\nbr loop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(2)
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunContext(context.Background(), 10_000); !errors.Is(err, ErrNoHalt) {
+		t.Fatalf("err = %v, want ErrNoHalt", err)
+	}
+}

@@ -1,0 +1,338 @@
+package farm_test
+
+// The differential harness: seeded random Tangled+Qat programs executed on
+// the functional reference machine, the 4-stage pipeline, the 5-stage
+// pipeline, and the farm (all three modes again, through the pooled
+// concurrent engine), asserting bit-identical final architectural state.
+// This is the verification lens applied to the whole simulator stack: any
+// disagreement between the timing models, the reference semantics, or the
+// concurrency/pooling layer fails with the offending program attached.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/farm"
+	"tangled/internal/isa"
+	"tangled/internal/pipeline"
+)
+
+// diffPrograms is the size of the random-program corpus; the acceptance
+// floor for this harness is 200.
+const diffPrograms = 200
+
+// diffWays keeps the Qat register file small (64 channels) so the corpus
+// runs in well under a second while still exercising every vector code path
+// (the word-packing logic is ways-independent above and below 6 ways).
+const diffWays = 6
+
+// diffBudget bounds each run; generated programs retire far fewer
+// instructions, so hitting it indicates a generator bug.
+const diffBudget = 2_000_000
+
+// progGen emits random but well-behaved Tangled/Qat assembly: every program
+// halts (branches are forward or strictly bounded loops), stores land in
+// high memory (>= 0x7F00) so code is never self-modified, and sys is only
+// issued as print services or the final halt.
+type progGen struct {
+	r      *rand.Rand
+	b      strings.Builder
+	labels int
+}
+
+func (g *progGen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *progGen) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+// reg returns a random register number in [1, max]; $0 is reserved for the
+// sys service selector so random ALU traffic cannot fake a halt.
+func (g *progGen) reg(max int) int { return 1 + g.r.Intn(max) }
+
+func (g *progGen) qreg() int { return g.r.Intn(12) }
+
+// plain emits one instruction with no control flow, using registers up to
+// maxReg (loop harnesses shrink the range to protect their counters).
+func (g *progGen) plain(maxReg int) {
+	switch g.r.Intn(20) {
+	case 0:
+		g.emit("add $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 1:
+		g.emit("and $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 2:
+		g.emit("or $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 3:
+		g.emit("xor $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 4:
+		g.emit("mul $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 5:
+		g.emit("slt $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 6:
+		g.emit("copy $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 7:
+		g.emit("shift $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 8:
+		g.emit("not $%d", g.reg(maxReg))
+		g.emit("neg $%d", g.reg(maxReg))
+	case 9:
+		g.emit("lex $%d,%d", g.reg(maxReg), g.r.Intn(256)-128)
+	case 10:
+		g.emit("lhi $%d,%d", g.reg(maxReg), g.r.Intn(128))
+	case 11:
+		g.emit("load $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 12:
+		// Pin the address register's high byte to 0x7F first: stores stay
+		// in [0x7F00, 0x7FFF], far above any generated program image, so
+		// code is never modified behind the pipeline's back.
+		s := g.reg(maxReg)
+		g.emit("lhi $%d,0x7F", s)
+		g.emit("store $%d,$%d", g.reg(maxReg), s)
+	case 13:
+		g.emit("float $%d", g.reg(maxReg))
+		g.emit("addf $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 14:
+		g.emit("mulf $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+		g.emit("int $%d", g.reg(maxReg))
+	case 15:
+		switch g.r.Intn(5) {
+		case 0:
+			g.emit("zero @%d", g.qreg())
+		case 1:
+			g.emit("one @%d", g.qreg())
+		case 2:
+			g.emit("not @%d", g.qreg())
+		case 3:
+			g.emit("had @%d,%d", g.qreg(), g.r.Intn(diffWays))
+		case 4:
+			g.emit("swap @%d,@%d", g.qreg(), g.qreg())
+		}
+	case 16:
+		switch g.r.Intn(3) {
+		case 0:
+			g.emit("and @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		case 1:
+			g.emit("or @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		case 2:
+			g.emit("xor @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		}
+	case 17:
+		switch g.r.Intn(3) {
+		case 0:
+			g.emit("cnot @%d,@%d", g.qreg(), g.qreg())
+		case 1:
+			g.emit("ccnot @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		case 2:
+			g.emit("cswap @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		}
+	case 18:
+		switch g.r.Intn(3) {
+		case 0:
+			g.emit("meas $%d,@%d", g.reg(maxReg), g.qreg())
+		case 1:
+			g.emit("next $%d,@%d", g.reg(maxReg), g.qreg())
+		case 2:
+			g.emit("pop $%d,@%d", g.reg(maxReg), g.qreg())
+		}
+	case 19:
+		// Print traffic exercises the sys output path on every model.
+		g.emit("lex $0,1")
+		g.emit("sys")
+	}
+}
+
+// branchBlock emits a data-dependent forward branch over a short block.
+func (g *progGen) branchBlock() {
+	lbl := g.label()
+	op := "brt"
+	if g.r.Intn(2) == 0 {
+		op = "brf"
+	}
+	g.emit("%s $%d,%s", op, g.reg(9), lbl)
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.plain(9)
+	}
+	g.emit("%s:", lbl)
+}
+
+// loopBlock emits a strictly bounded countdown loop: $9 counts down via the
+// -1 in $8; the body may only touch $1..$7.
+func (g *progGen) loopBlock() {
+	lbl := g.label()
+	g.emit("lex $8,-1")
+	g.emit("lex $9,%d", 2+g.r.Intn(4))
+	g.emit("%s:", lbl)
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.plain(7)
+	}
+	g.emit("add $9,$8")
+	g.emit("brt $9,%s", lbl)
+}
+
+// generate returns one complete random program.
+func generate(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	for d := 1; d <= 7; d++ {
+		g.emit("lex $%d,%d", d, g.r.Intn(256)-128)
+	}
+	for i, n := 0, 2+g.r.Intn(3); i < n; i++ {
+		g.emit("had @%d,%d", g.qreg(), g.r.Intn(diffWays))
+	}
+	loops := 0
+	for i, n := 0, 25+g.r.Intn(35); i < n; i++ {
+		switch {
+		case g.r.Intn(8) == 0:
+			g.branchBlock()
+		case loops < 2 && g.r.Intn(12) == 0:
+			loops++
+			g.loopBlock()
+		default:
+			g.plain(9)
+		}
+	}
+	g.emit("lex $0,0")
+	g.emit("sys")
+	return g.b.String()
+}
+
+// machineDigest folds the complete architectural state — memory, all 256
+// Qat registers, the Tangled register file and the PC — into one FNV-1a
+// fingerprint.
+func machineDigest(m *cpu.Machine) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	for _, w := range m.Mem {
+		mix(uint64(w))
+	}
+	for qa := 0; qa < isa.NumQRegs; qa++ {
+		v := m.Qat.Reg(uint8(qa))
+		for i := 0; i < v.NumWords(); i++ {
+			mix(v.Word(i))
+		}
+	}
+	for _, r := range m.Regs {
+		mix(uint64(r))
+	}
+	mix(uint64(m.PC))
+	return h
+}
+
+// snapshot is everything one execution produced.
+type snapshot struct {
+	regs   [16]uint16
+	output string
+	insts  uint64
+	digest uint64
+}
+
+func runReference(t *testing.T, prog *asm.Program) snapshot {
+	t.Helper()
+	var out strings.Builder
+	m := cpu.New(diffWays)
+	m.Out = &out
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(diffBudget); err != nil {
+		t.Fatalf("functional run: %v", err)
+	}
+	return snapshot{regs: m.Regs, output: out.String(), insts: m.Stats.Insts, digest: machineDigest(m)}
+}
+
+func runPipe(t *testing.T, prog *asm.Program, cfg pipeline.Config) snapshot {
+	t.Helper()
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	p.SetOutput(&out)
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(diffBudget); err != nil {
+		t.Fatalf("%d-stage run: %v", cfg.Stages, err)
+	}
+	return snapshot{regs: p.Machine().Regs, output: out.String(), insts: p.Stats.Insts, digest: machineDigest(p.Machine())}
+}
+
+// pipeConfigs returns the two pipeline organizations for corpus index i,
+// varying the timing knobs (which must never change semantics) with i.
+func pipeConfigs(i int) (p4, p5 pipeline.Config) {
+	p4 = pipeline.Config{Stages: 4, Ways: diffWays, Forwarding: true, MulLatency: 1, QatNextLatency: 1}
+	p5 = pipeline.Config{Stages: 5, Ways: diffWays, Forwarding: true, MulLatency: 1, QatNextLatency: 1}
+	if i%2 == 0 {
+		p4.TwoWordFetchPenalty = true
+	}
+	if i%3 == 0 {
+		p5.Forwarding = false
+	}
+	if i%5 == 0 {
+		p5.MulLatency, p5.QatNextLatency = 3, 2
+	}
+	return p4, p5
+}
+
+// TestDifferentialFunctionalPipelineFarm is the harness's main entry: for
+// every corpus program, the functional machine, both pipelines, and the
+// farm-executed variants of all three must agree on registers, output,
+// retired instruction count, memory and Qat state.
+func TestDifferentialFunctionalPipelineFarm(t *testing.T) {
+	engine := farm.New(0)
+	for i := 0; i < diffPrograms; i++ {
+		src := generate(0xDE17 + int64(i))
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("program %d does not assemble: %v\n%s", i, err, src)
+		}
+		ref := runReference(t, prog)
+		p4cfg, p5cfg := pipeConfigs(i)
+		snaps := map[string]snapshot{
+			"pipe4": runPipe(t, prog, p4cfg),
+			"pipe5": runPipe(t, prog, p5cfg),
+		}
+
+		digests := make([]uint64, 3)
+		jobs := []farm.Job{
+			{Name: "farm-func", Prog: prog, Mode: farm.Functional, Ways: diffWays,
+				Inspect: func(m *cpu.Machine) { digests[0] = machineDigest(m) }},
+			{Name: "farm-pipe4", Prog: prog, Mode: farm.Pipelined, Pipeline: p4cfg,
+				Inspect: func(m *cpu.Machine) { digests[1] = machineDigest(m) }},
+			{Name: "farm-pipe5", Prog: prog, Mode: farm.Pipelined, Pipeline: p5cfg,
+				Inspect: func(m *cpu.Machine) { digests[2] = machineDigest(m) }},
+		}
+		results, _ := engine.Run(nil, jobs)
+		for k, res := range results {
+			if res.Err != nil {
+				t.Fatalf("program %d, %s: %v\n%s", i, res.Name, res.Err, src)
+			}
+			snaps[res.Name] = snapshot{regs: res.Regs, output: res.Output, insts: res.Insts, digest: digests[k]}
+		}
+
+		for name, s := range snaps {
+			if s.regs != ref.regs {
+				t.Fatalf("program %d: %s regs %v != functional %v\n%s", i, name, s.regs, ref.regs, src)
+			}
+			if s.output != ref.output {
+				t.Fatalf("program %d: %s output %q != functional %q\n%s", i, name, s.output, ref.output, src)
+			}
+			if s.insts != ref.insts {
+				t.Fatalf("program %d: %s retired %d != functional %d\n%s", i, name, s.insts, ref.insts, src)
+			}
+			if s.digest != ref.digest {
+				t.Fatalf("program %d: %s memory/Qat state diverged from functional\n%s", i, name, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package farm is a concurrent batch-execution engine for Tangled/Qat
+// machines: it fans a queue of independent jobs (assembled program + machine
+// configuration) out across a bounded worker pool, reusing the expensive
+// per-machine state — the Qat register file (up to 256 x 65,536 bits) and the
+// 65,536-word host memory — through sync.Pool so steady-state throughput
+// performs no per-job machine allocation.
+//
+// The paper's PBP model makes each coprocessor run "plain bitwise operations
+// over packed words"; the natural unit of parallelism above that SIMD layer
+// is the whole coprocessor job, mirroring the host/device split of
+// QPU-as-accelerator architectures. Farm jobs therefore never share
+// architectural state: every job gets a private machine for its lifetime and
+// the machine is fully reset (cpu.Machine.Load) before the next job reuses
+// it, so results are bit-identical regardless of worker count or scheduling
+// order.
+//
+// Jobs may run on the functional machine (package cpu) or on a cycle-accurate
+// pipeline (package pipeline); results come back in job order with aggregate
+// batch statistics (jobs/s, retired instructions, cycles, stalls, pool hit
+// rate). Per-job deadlines ride on context.Context and on the MaxSteps
+// budget; a timed-out job reports its error without poisoning the pooled
+// machine, because the reset-on-load contract does not depend on how the
+// previous run ended.
+package farm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tangled/internal/aob"
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/pipeline"
+)
+
+// Mode selects which machine model executes a job.
+type Mode uint8
+
+const (
+	// Functional runs the instruction-at-a-time reference machine.
+	Functional Mode = iota
+	// Pipelined runs the cycle-accurate 4/5-stage pipeline model.
+	Pipelined
+)
+
+// DefaultMaxSteps bounds job execution when Job.MaxSteps is zero. It matches
+// the toolchain facade's budget (qasm.MaxSteps).
+const DefaultMaxSteps = 50_000_000
+
+// ErrNoProgram is reported by jobs that carry neither source nor an
+// assembled program.
+var ErrNoProgram = errors.New("farm: job has neither Src nor Prog")
+
+// Job describes one independent Tangled/Qat execution.
+type Job struct {
+	// Name labels the job in results and logs; purely descriptive.
+	Name string
+
+	// Prog is the assembled program. When nil, Src is assembled by the
+	// worker instead (sharing one *asm.Program across jobs avoids
+	// re-assembly).
+	Prog *asm.Program
+	// Src is Tangled/Qat assembly source, used when Prog is nil.
+	Src string
+
+	// Mode picks the machine model; the zero value is Functional.
+	Mode Mode
+
+	// Ways is the Qat entanglement degree for Functional jobs; 0 means the
+	// paper's full 16-way hardware. Ignored by Pipelined jobs, whose
+	// Pipeline config carries its own Ways.
+	Ways int
+	// ConstantRegs selects the Section 5 constant-register Qat variant for
+	// Functional jobs. Ignored by Pipelined jobs (see pipeline.Config).
+	ConstantRegs bool
+	// Pipeline configures Pipelined jobs; the zero value means
+	// pipeline.DefaultConfig().
+	Pipeline pipeline.Config
+
+	// MaxSteps bounds instructions (Functional) or cycles (Pipelined);
+	// 0 means DefaultMaxSteps.
+	MaxSteps uint64
+	// Timeout, when positive, bounds the job's wall-clock time on top of
+	// the batch context.
+	Timeout time.Duration
+
+	// Inspect, when non-nil, is called with the machine after the run
+	// completes (successfully or not), before the machine returns to the
+	// pool. It runs on the worker goroutine and owns the machine only for
+	// the duration of the call: implementations must copy anything they
+	// want to keep and must not retain the pointer.
+	Inspect func(m *cpu.Machine)
+}
+
+// Result is the outcome of one job, delivered at the job's queue index.
+type Result struct {
+	// Job is the index of the job within the batch passed to Run.
+	Job int
+	// Name echoes Job.Name.
+	Name string
+
+	// Regs is the final Tangled register file.
+	Regs [16]uint16
+	// Output is everything the program printed through sys.
+	Output string
+	// Insts is the retired instruction count.
+	Insts uint64
+	// Pipe holds cycle accounting for Pipelined jobs.
+	Pipe *pipeline.Stats
+
+	// Duration is the job's wall-clock execution time (including assembly
+	// when the job carried source).
+	Duration time.Duration
+	// Err is the job's failure, if any: assembly errors, budget exhaustion
+	// (cpu.ErrNoHalt / pipeline.ErrNoHalt), or context cancellation.
+	Err error
+}
+
+// Engine is a reusable batch executor with a bounded worker pool and pooled
+// machine state. The zero value is not usable; construct with New. An Engine
+// is safe for concurrent use.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	pools map[poolKey]*machinePool
+
+	totalsMu sync.Mutex
+	totals   Stats
+}
+
+// New returns an engine running at most workers jobs concurrently;
+// workers <= 0 means runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, pools: make(map[poolKey]*machinePool)}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Totals returns lifetime statistics accumulated over every batch this
+// engine has run. Wall is the sum of batch wall times, not elapsed time.
+func (e *Engine) Totals() Stats {
+	e.totalsMu.Lock()
+	defer e.totalsMu.Unlock()
+	return e.totals
+}
+
+// Run executes jobs and returns one Result per job, in job order, plus the
+// batch statistics. Per-job failures land in Result.Err, never in a panic or
+// a lost slot. When ctx is cancelled mid-batch, jobs not yet started report
+// ctx.Err() and in-flight jobs stop at their next cancellation poll; Run
+// always drains its workers before returning. A nil ctx means
+// context.Background().
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, Stats) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	results := make([]Result, len(jobs))
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var bc batchCounters
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runJob(ctx, i, &jobs[i], &bc)
+			}
+		}()
+	}
+	fed := len(jobs)
+	for i := range jobs {
+		select {
+		case idx <- i:
+			continue
+		case <-ctx.Done():
+			fed = i
+		}
+		break
+	}
+	close(idx)
+	wg.Wait()
+	for i := fed; i < len(jobs); i++ {
+		results[i] = Result{Job: i, Name: jobs[i].Name, Err: ctx.Err()}
+	}
+
+	st := Stats{Workers: workers, Wall: time.Since(start)}
+	for i := range results {
+		st.Jobs++
+		if results[i].Err != nil {
+			st.Errors++
+		}
+		st.Insts += results[i].Insts
+		if p := results[i].Pipe; p != nil {
+			st.Cycles += p.Cycles
+			st.Stalls += p.TotalStalls()
+		}
+	}
+	st.PoolHits = bc.hits.Load()
+	st.PoolMisses = bc.misses.Load()
+
+	e.totalsMu.Lock()
+	e.totals.accumulate(st)
+	e.totalsMu.Unlock()
+	return results, st
+}
+
+// runJob executes one job on the calling worker goroutine.
+func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters) Result {
+	res := Result{Job: i, Name: j.Name}
+	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+
+	prog := j.Prog
+	if prog == nil {
+		if j.Src == "" {
+			res.Err = ErrNoProgram
+			return res
+		}
+		p, err := asm.Assemble(j.Src)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		prog = p
+	}
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
+	maxSteps := j.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	if j.Mode == Pipelined {
+		e.runPipelined(ctx, j, prog, maxSteps, &res, bc)
+	} else {
+		e.runFunctional(ctx, j, prog, maxSteps, &res, bc)
+	}
+	return res
+}
+
+func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, maxSteps uint64, res *Result, bc *batchCounters) {
+	ways := j.Ways
+	if ways == 0 {
+		ways = aob.MaxWays
+	}
+	if ways < 0 || ways > aob.MaxWays {
+		res.Err = fmt.Errorf("farm: ways %d out of range [0,%d]", ways, aob.MaxWays)
+		return
+	}
+	pool := e.pool(poolKey{ways: ways, constRegs: j.ConstantRegs})
+	var m *cpu.Machine
+	if v := pool.get(bc); v != nil {
+		m = v.(*cpu.Machine)
+	} else if j.ConstantRegs {
+		m = cpu.NewWithConstants(ways)
+	} else {
+		m = cpu.New(ways)
+	}
+	defer func() {
+		m.Out = nil
+		pool.put(m)
+	}()
+
+	var out bytes.Buffer
+	m.Out = &out
+	if err := m.Load(prog); err != nil {
+		res.Err = err
+		return
+	}
+	err := m.RunContext(ctx, maxSteps)
+	res.Regs = m.Regs
+	res.Output = out.String()
+	res.Insts = m.Stats.Insts
+	res.Err = err
+	if j.Inspect != nil {
+		j.Inspect(m)
+	}
+}
+
+func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, maxCycles uint64, res *Result, bc *batchCounters) {
+	cfg := j.Pipeline
+	if cfg == (pipeline.Config{}) {
+		cfg = pipeline.DefaultConfig()
+	}
+	pool := e.pool(poolKey{pipelined: true, pcfg: cfg})
+	var p *pipeline.Pipeline
+	if v := pool.get(bc); v != nil {
+		p = v.(*pipeline.Pipeline)
+	} else {
+		var err error
+		p, err = pipeline.New(cfg)
+		if err != nil {
+			bc.unalloc() // nothing was constructed; the miss never became a machine
+			res.Err = err
+			return
+		}
+	}
+	defer func() {
+		p.SetOutput(nil)
+		pool.put(p)
+	}()
+
+	var out bytes.Buffer
+	p.SetOutput(&out)
+	if err := p.Load(prog); err != nil {
+		res.Err = err
+		return
+	}
+	err := p.RunContext(ctx, maxCycles)
+	stats := p.Stats
+	res.Regs = p.Machine().Regs
+	res.Output = out.String()
+	res.Insts = stats.Insts
+	res.Pipe = &stats
+	res.Err = err
+	if j.Inspect != nil {
+		j.Inspect(p.Machine())
+	}
+}

@@ -1,0 +1,65 @@
+package farm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats aggregates one batch (Engine.Run) or an engine lifetime
+// (Engine.Totals).
+type Stats struct {
+	// Jobs is the number of jobs submitted; Errors how many failed.
+	Jobs, Errors uint64
+	// Insts is the total retired instruction count across jobs.
+	Insts uint64
+	// Cycles and Stalls total the pipeline accounting of Pipelined jobs
+	// (zero for purely functional batches).
+	Cycles, Stalls uint64
+	// PoolHits counts jobs served by a recycled machine; PoolMisses jobs
+	// that had to allocate one. At steady state misses stay flat: no run
+	// beyond the first |workers| allocates machine state.
+	PoolHits, PoolMisses uint64
+	// Wall is the batch wall-clock time (for Totals: the sum over batches).
+	Wall time.Duration
+	// Workers is the concurrency the batch actually used.
+	Workers int
+}
+
+// JobsPerSec is the batch throughput figure of merit.
+func (s Stats) JobsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Jobs) / s.Wall.Seconds()
+}
+
+// PoolHitRate is the fraction of jobs served without allocating a machine.
+func (s Stats) PoolHitRate() float64 {
+	total := s.PoolHits + s.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(total)
+}
+
+// String renders the one-line summary printed by cmd/qatfarm.
+func (s Stats) String() string {
+	return fmt.Sprintf("farm: %d jobs (%d failed) on %d workers in %v: %.1f jobs/s, %d insts, %d cycles, %d stalls, pool hit rate %.0f%%",
+		s.Jobs, s.Errors, s.Workers, s.Wall.Round(time.Millisecond),
+		s.JobsPerSec(), s.Insts, s.Cycles, s.Stalls, 100*s.PoolHitRate())
+}
+
+// accumulate folds a batch into lifetime totals.
+func (s *Stats) accumulate(b Stats) {
+	s.Jobs += b.Jobs
+	s.Errors += b.Errors
+	s.Insts += b.Insts
+	s.Cycles += b.Cycles
+	s.Stalls += b.Stalls
+	s.PoolHits += b.PoolHits
+	s.PoolMisses += b.PoolMisses
+	s.Wall += b.Wall
+	if b.Workers > s.Workers {
+		s.Workers = b.Workers
+	}
+}

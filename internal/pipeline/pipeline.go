@@ -25,10 +25,12 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 
+	"tangled/internal/aob"
 	"tangled/internal/asm"
 	"tangled/internal/cpu"
 	"tangled/internal/isa"
@@ -78,6 +80,9 @@ func (c Config) validate() error {
 	if c.MulLatency < 1 || c.QatNextLatency < 1 {
 		return errors.New("pipeline: latencies must be >= 1")
 	}
+	if c.Ways < 0 || c.Ways > aob.MaxWays {
+		return fmt.Errorf("pipeline: ways %d out of range [0,%d]", c.Ways, aob.MaxWays)
+	}
 	return nil
 }
 
@@ -91,6 +96,12 @@ type Stats struct {
 	FetchStalls   uint64 // two-word instruction fetch penalty
 	BranchFlushes uint64 // taken-branch redirects
 	FlushCycles   uint64 // wrong-path slots squashed by redirects
+}
+
+// TotalStalls sums every cycle the pipeline lost to hazards: data stalls,
+// multi-cycle EX occupancy, fetch penalties, and squashed wrong-path slots.
+func (s Stats) TotalStalls() uint64 {
+	return s.LoadUseStalls + s.RawStalls + s.ExBusyStalls + s.FetchStalls + s.FlushCycles
 }
 
 // CPI returns cycles per retired instruction.
@@ -420,6 +431,42 @@ func (p *Pipeline) Run(maxCycles uint64) error {
 		}
 		if done {
 			return nil
+		}
+	}
+	return ErrNoHalt
+}
+
+// ctxCheckInterval is how many cycles RunContext clocks between cancellation
+// polls; see the identical constant in package cpu.
+const ctxCheckInterval = 2048
+
+// RunContext clocks like Run but honors context cancellation, polling ctx
+// every ctxCheckInterval cycles. On cancellation the returned error wraps
+// ctx.Err().
+func (p *Pipeline) RunContext(ctx context.Context, maxCycles uint64) error {
+	if ctx == nil || ctx.Done() == nil {
+		return p.Run(maxCycles)
+	}
+	done := ctx.Done()
+	for executed := uint64(0); executed < maxCycles; {
+		n := maxCycles - executed
+		if n > ctxCheckInterval {
+			n = ctxCheckInterval
+		}
+		for i := uint64(0); i < n; i++ {
+			finished, err := p.Cycle()
+			if err != nil {
+				return err
+			}
+			if finished {
+				return nil
+			}
+		}
+		executed += n
+		select {
+		case <-done:
+			return fmt.Errorf("pipeline: run cancelled after %d cycles: %w", p.Stats.Cycles, ctx.Err())
+		default:
 		}
 	}
 	return ErrNoHalt

@@ -88,14 +88,21 @@ func (q *Coprocessor) SetReg(qa uint8, v *aob.Vector) {
 	q.regs[qa] = v.Clone()
 }
 
-// Reset clears all non-reserved registers.
+// Reset clears all non-reserved registers and the per-opcode counters. It
+// reuses every allocation — register vectors are zeroed in place and the Ops
+// map is emptied rather than replaced — so a pooled coprocessor can be reset
+// between runs without touching the heap. An attached Meter is deliberately
+// left accumulating (metering spans runs by design); detach or reset it
+// separately when a machine changes tenants.
 func (q *Coprocessor) Reset() {
 	for i := range q.regs {
 		if !q.reserved[i] {
 			q.regs[i].Zero()
 		}
 	}
-	q.Ops = make(map[isa.Op]uint64)
+	for k := range q.Ops {
+		delete(q.Ops, k)
+	}
 }
 
 func (q *Coprocessor) checkWrite(qa uint8) error {
