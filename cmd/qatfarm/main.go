@@ -7,7 +7,8 @@
 // Usage:
 //
 //	qatfarm [-workers N] [-stages N] [-ways N] [-abits N] [-bbits N]
-//	        [-reuse] [-const-regs] [-timeout D] n1 [n2 ...]
+//	        [-reuse] [-const-regs] [-timeout D]
+//	        [-metrics FILE] [-http ADDR] [-trace FILE] n1 [n2 ...]
 //	qatfarm -bench [-out BENCH_farm.json]
 //
 // Examples:
@@ -15,6 +16,17 @@
 //	qatfarm 15 21 33 35 51 65 77 85 91 95      # factor ten semiprimes in parallel
 //	qatfarm -workers 2 -timeout 5s 221 187     # bounded concurrency and deadline
 //	qatfarm -bench                             # write the throughput sweep to BENCH_farm.json
+//	qatfarm -metrics - 15 21 35                # dump Prometheus text to stdout after the run
+//	qatfarm -http :8080 -trace out.jsonl 221   # live /metrics + expvar + pprof, JSONL cycle trace
+//
+// Observability (-metrics/-http/-trace) is off by default and costs nothing
+// when off: the farm and the machine models carry nil metric handles. With
+// -metrics FILE the registry is rendered as Prometheus text exposition
+// format after the batch ("-" for stdout); with -http ADDR the same
+// registry is served live at /metrics alongside expvar (/debug/vars) and
+// pprof (/debug/pprof/) for the duration of the run; with -trace FILE the
+// last cycles of the pipelined jobs are exported as versioned JSONL (see
+// docs/TRACE.md).
 //
 // The -bench mode runs the same workloads as BenchmarkFarmThroughput (the
 // Figure 10 factoring program on the pipelined machine and the subset-sum
@@ -37,6 +49,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/compile"
 	"tangled/internal/farm"
+	"tangled/internal/obs"
 	"tangled/internal/pipeline"
 	"tangled/internal/qasm"
 )
@@ -52,6 +65,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall deadline for the batch (0 = none)")
 	bench := flag.Bool("bench", false, "run the throughput sweep and write the regression file")
 	out := flag.String("out", "BENCH_farm.json", "output file for -bench")
+	metricsOut := flag.String("metrics", "", "write Prometheus text metrics to FILE after the run (- for stdout)")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on ADDR during the run")
+	traceOut := flag.String("trace", "", "write the pipeline cycle trace as JSONL to FILE")
 	flag.Parse()
 
 	if *bench {
@@ -101,7 +117,29 @@ func main() {
 	}
 	copts := compile.Options{Reuse: *reuse, ConstantRegs: *constRegs}
 	pcfg := pipeline.Config{Stages: *stages, Ways: w, Forwarding: true, MulLatency: 1, QatNextLatency: 1}
-	reports, stats, err := qasm.FactorBatch(ctx, ns, ab, bb, copts, pcfg, *workers)
+
+	engine := farm.New(*workers)
+	var reg *obs.Registry
+	var ring *obs.TraceRing
+	if *metricsOut != "" || *httpAddr != "" || *traceOut != "" {
+		reg = obs.NewRegistry()
+		o := farm.NewObs(reg)
+		if *traceOut != "" {
+			ring = obs.NewTraceRing(0)
+			o.Trace = ring
+		}
+		engine.SetObs(o)
+	}
+	if *httpAddr != "" {
+		srv, addr, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "qatfarm: metrics at http://%s/metrics\n", addr)
+		defer srv.Close()
+	}
+
+	reports, stats, err := qasm.FactorBatchOn(ctx, engine, ns, ab, bb, copts, pcfg)
 	for i, n := range ns {
 		rep := reports[i]
 		if rep == nil {
@@ -115,9 +153,49 @@ func main() {
 		fmt.Println(line)
 	}
 	fmt.Println(stats)
+	if *metricsOut != "" {
+		if werr := writeMetrics(*metricsOut, reg); werr != nil {
+			fatal(werr)
+		}
+	}
+	if *traceOut != "" {
+		if werr := writeTrace(*traceOut, ring); werr != nil {
+			fatal(werr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// writeMetrics renders reg as Prometheus text to path ("-" for stdout).
+func writeMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		reg.WritePrometheus(os.Stdout)
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	reg.WritePrometheus(f)
+	return f.Close()
+}
+
+// writeTrace exports the trace ring as versioned JSONL to path.
+func writeTrace(path string, ring *obs.TraceRing) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ring.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if n := ring.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "qatfarm: trace ring dropped %d oldest events (capacity %d)\n", n, obs.DefaultTraceCap)
+	}
+	return f.Close()
 }
 
 // benchReport is the schema of BENCH_farm.json.

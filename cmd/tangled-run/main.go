@@ -8,6 +8,17 @@
 //
 // Flags select the machine organization; -stats prints retired-instruction
 // and cycle accounting after the run, -regs dumps the final register file.
+//
+// Observability is off by default and free when off (nil metric handles on
+// the hot path). With -metrics FILE the run's counters — per-opcode retire
+// counts, Qat op and AoB word-operation totals, energy-model gauges, and in
+// pipeline mode per-stage occupancy and the stall/flush breakdown — are
+// rendered as Prometheus text exposition format after the run ("-" for
+// stdout). With -http ADDR the same registry is served live at /metrics
+// alongside expvar (/debug/vars) and pprof (/debug/pprof/). With
+// -trace FILE the last cycles of the run are exported as versioned JSONL
+// (schema in docs/TRACE.md); -itrace remains the human-readable
+// instruction trace on stderr (functional mode).
 package main
 
 import (
@@ -18,8 +29,11 @@ import (
 
 	"tangled/internal/asm"
 	"tangled/internal/cpu"
+	"tangled/internal/energy"
 	"tangled/internal/isa"
+	"tangled/internal/obs"
 	"tangled/internal/pipeline"
+	"tangled/internal/qat"
 )
 
 func main() {
@@ -33,10 +47,13 @@ func main() {
 	constRegs := flag.Bool("const-regs", false, "Section 5 constant-register Qat variant")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	regs := flag.Bool("regs", false, "dump final registers")
-	trace := flag.Bool("trace", false, "trace every executed instruction (functional mode)")
+	itrace := flag.Bool("itrace", false, "trace every executed instruction on stderr (functional mode)")
 	pipeTrace := flag.Bool("pipetrace", false, "print the per-cycle stage diagram (pipeline mode)")
 	maxSteps := flag.Uint64("max-steps", 100_000_000, "execution budget")
 	encName := flag.String("enc", "primary", "binary encoding of the image/program (primary or student)")
+	metricsOut := flag.String("metrics", "", "write Prometheus text metrics to FILE after the run (- for stdout)")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on ADDR during the run")
+	traceOut := flag.String("trace", "", "write the cycle trace as JSONL to FILE")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tangled-run [flags] prog.asm|image.hex")
@@ -49,6 +66,35 @@ func main() {
 	prog, err := loadProgram(flag.Arg(0), enc)
 	if err != nil {
 		fatal(err)
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *httpAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var ring *obs.TraceRing
+	if *traceOut != "" {
+		ring = obs.NewTraceRing(0)
+	}
+	if *httpAddr != "" {
+		srv, addr, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tangled-run: metrics at http://%s/metrics\n", addr)
+		defer srv.Close()
+	}
+	dump := func() {
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut, reg); err != nil {
+				fatal(err)
+			}
+		}
+		if ring != nil {
+			if err := writeTrace(*traceOut, ring); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	if *pipe {
@@ -70,11 +116,21 @@ func main() {
 		if *pipeTrace {
 			p.SetTracer(p.WriteTracer(os.Stderr))
 		}
+		if reg != nil {
+			p.SetMetrics(pipeline.NewMetrics(reg))
+			p.Machine().AttachMetrics(cpu.NewMetrics(reg))
+			meter := energy.NewMeter()
+			p.Machine().Qat.Meter = meter
+			qat.RegisterMeter(reg, meter)
+		}
+		p.SetTraceRing(ring)
 		if err := p.Load(prog); err != nil {
 			fatal(err)
 		}
-		if err := p.Run(*maxSteps); err != nil {
-			fatal(err)
+		runErr := p.Run(*maxSteps)
+		dump()
+		if runErr != nil {
+			fatal(runErr)
 		}
 		if *stats {
 			s := p.Stats
@@ -96,16 +152,38 @@ func main() {
 	}
 	m.Out = os.Stdout
 	m.Enc = enc
-	if *trace {
+	if *itrace {
 		m.Trace = func(pc uint16, inst isa.Inst) {
 			fmt.Fprintf(os.Stderr, "%04x: %s\n", pc, inst)
+		}
+	}
+	if reg != nil {
+		m.AttachMetrics(cpu.NewMetrics(reg))
+		meter := energy.NewMeter()
+		m.Qat.Meter = meter
+		qat.RegisterMeter(reg, meter)
+	}
+	if ring != nil {
+		// The functional machine has no pipeline clock; the trace records
+		// one event per retired instruction with the instruction ordinal as
+		// the cycle column.
+		prev := m.Trace
+		m.Trace = func(pc uint16, inst isa.Inst) {
+			if prev != nil {
+				prev(pc, inst)
+			}
+			// The hook fires before Stats.Insts increments; +1 keeps the
+			// ordinal 1-based like the pipeline's cycle column.
+			ring.Append(obs.TraceEvent{Cycle: m.Stats.Insts + 1, PC: pc, Inst: inst.String(), Event: "retire"})
 		}
 	}
 	if err := m.Load(prog); err != nil {
 		fatal(err)
 	}
-	if err := m.Run(*maxSteps); err != nil {
-		fatal(err)
+	runErr := m.Run(*maxSteps)
+	dump()
+	if runErr != nil {
+		fatal(runErr)
 	}
 	if *stats {
 		s := m.Stats
@@ -142,6 +220,36 @@ func loadProgram(path string, enc isa.Encoding) (*asm.Program, error) {
 		return nil, err
 	}
 	return &asm.Program{Words: words}, nil
+}
+
+// writeMetrics renders reg as Prometheus text to path ("-" for stdout).
+func writeMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		reg.WritePrometheus(os.Stdout)
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	reg.WritePrometheus(f)
+	return f.Close()
+}
+
+// writeTrace exports the trace ring as versioned JSONL to path.
+func writeTrace(path string, ring *obs.TraceRing) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ring.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if n := ring.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "tangled-run: trace ring dropped %d oldest events (capacity %d)\n", n, obs.DefaultTraceCap)
+	}
+	return f.Close()
 }
 
 func dumpRegs(m *cpu.Machine) {

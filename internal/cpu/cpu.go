@@ -79,6 +79,11 @@ type Machine struct {
 
 	// Trace, when non-nil, observes every executed instruction.
 	Trace func(pc uint16, inst isa.Inst)
+
+	// Metrics, when non-nil, feeds the performance-counter set (see
+	// metrics.go); attach with AttachMetrics so the coprocessor's set is
+	// wired in the same motion.
+	Metrics *Metrics
 }
 
 // New builds a machine whose Qat coprocessor has the given entanglement
@@ -120,6 +125,7 @@ func (m *Machine) Reset() {
 	m.clearArch()
 	m.Out = nil
 	m.Trace = nil
+	m.AttachMetrics(nil)
 }
 
 // clearArch zeroes all architectural state in place.
@@ -162,6 +168,7 @@ func (m *Machine) Step() error {
 	m.PC += uint16(n)
 	m.Stats.Insts++
 	m.Stats.MultiCycles += MultiCyclesFor(inst)
+	m.Metrics.retire(inst)
 	if inst.Op.IsQat() {
 		m.Stats.QatInsts++
 		out, writes, err := m.Qat.Exec(inst, m.Regs[inst.RD])

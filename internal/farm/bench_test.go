@@ -16,6 +16,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/compile"
 	"tangled/internal/farm"
+	"tangled/internal/obs"
 	"tangled/internal/pipeline"
 )
 
@@ -105,6 +106,36 @@ func BenchmarkFarmThroughput(b *testing.B) {
 				b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
 			})
 		}
+	}
+}
+
+// BenchmarkFarmThroughputObs is BenchmarkFarmThroughput's fig10 workload
+// with the full observability hook-up attached (registry, farm Obs, shared
+// cpu/qat/pipeline counters). Comparing the two benchmarks measures the
+// instrumentation tax; the tentpole's budget is ~5% on throughput with
+// metrics on, and zero when off (nil handles, checked by the base
+// benchmark staying flat). CI's bench-guard step prints the delta.
+func BenchmarkFarmThroughputObs(b *testing.B) {
+	jobs := fig10Jobs(b)
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("fig10-factor15/workers=%d", workers), func(b *testing.B) {
+			engine := farm.New(workers)
+			engine.SetObs(farm.NewObs(obs.NewRegistry()))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				results, _ := engine.Run(ctx, jobs)
+				n += len(results)
+				if i == 0 {
+					b.StopTimer()
+					checkFig10(b, results)
+					b.StartTimer()
+				}
+			}
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "jobs/s")
+		})
 	}
 }
 

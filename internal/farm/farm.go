@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tangled/internal/aob"
@@ -132,6 +133,10 @@ type Engine struct {
 
 	totalsMu sync.Mutex
 	totals   Stats
+
+	// obs is the optional observability hook-up (see obs.go); atomic so
+	// SetObs is safe against in-flight batches.
+	obs atomic.Pointer[Obs]
 }
 
 // New returns an engine running at most workers jobs concurrently;
@@ -170,6 +175,10 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, Stats) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	o := e.currentObs()
+	if o != nil {
+		o.QueueDepth.Add(int64(len(jobs)))
+	}
 	var bc batchCounters
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -178,7 +187,15 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, Stats) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = e.runJob(ctx, i, &jobs[i], &bc)
+				results[i] = e.runJob(ctx, i, &jobs[i], &bc, o)
+				if o != nil {
+					o.QueueDepth.Add(-1)
+					o.JobsDone.Inc()
+					if results[i].Err != nil {
+						o.JobErrors.Inc()
+					}
+					o.JobSeconds.Observe(results[i].Duration.Seconds())
+				}
 			}
 		}()
 	}
@@ -196,6 +213,15 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, Stats) {
 	wg.Wait()
 	for i := fed; i < len(jobs); i++ {
 		results[i] = Result{Job: i, Name: jobs[i].Name, Err: ctx.Err()}
+		if o != nil {
+			o.QueueDepth.Add(-1)
+			o.JobsDone.Inc()
+			o.JobErrors.Inc()
+		}
+	}
+	if o != nil {
+		o.PoolHits.Add(bc.hits.Load())
+		o.PoolMisses.Add(bc.misses.Load())
 	}
 
 	st := Stats{Workers: workers, Wall: time.Since(start)}
@@ -220,10 +246,14 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, Stats) {
 }
 
 // runJob executes one job on the calling worker goroutine.
-func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters) Result {
+func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters, o *Obs) Result {
 	res := Result{Job: i, Name: j.Name}
 	start := time.Now()
 	defer func() { res.Duration = time.Since(start) }()
+	if o != nil {
+		o.InFlight.Add(1)
+		defer o.InFlight.Add(-1)
+	}
 
 	prog := j.Prog
 	if prog == nil {
@@ -248,14 +278,14 @@ func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters) R
 		maxSteps = DefaultMaxSteps
 	}
 	if j.Mode == Pipelined {
-		e.runPipelined(ctx, j, prog, maxSteps, &res, bc)
+		e.runPipelined(ctx, j, prog, maxSteps, &res, bc, o)
 	} else {
-		e.runFunctional(ctx, j, prog, maxSteps, &res, bc)
+		e.runFunctional(ctx, j, prog, maxSteps, &res, bc, o)
 	}
 	return res
 }
 
-func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, maxSteps uint64, res *Result, bc *batchCounters) {
+func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, maxSteps uint64, res *Result, bc *batchCounters, o *Obs) {
 	ways := j.Ways
 	if ways == 0 {
 		ways = aob.MaxWays
@@ -275,11 +305,15 @@ func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, m
 	}
 	defer func() {
 		m.Out = nil
+		m.AttachMetrics(nil)
 		pool.put(m)
 	}()
 
 	var out bytes.Buffer
 	m.Out = &out
+	if o != nil {
+		m.AttachMetrics(o.CPU)
+	}
 	if err := m.Load(prog); err != nil {
 		res.Err = err
 		return
@@ -294,7 +328,7 @@ func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, m
 	}
 }
 
-func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, maxCycles uint64, res *Result, bc *batchCounters) {
+func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, maxCycles uint64, res *Result, bc *batchCounters, o *Obs) {
 	cfg := j.Pipeline
 	if cfg == (pipeline.Config{}) {
 		cfg = pipeline.DefaultConfig()
@@ -314,11 +348,19 @@ func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, ma
 	}
 	defer func() {
 		p.SetOutput(nil)
+		p.SetMetrics(nil)
+		p.SetTraceRing(nil)
+		p.Machine().AttachMetrics(nil)
 		pool.put(p)
 	}()
 
 	var out bytes.Buffer
 	p.SetOutput(&out)
+	if o != nil {
+		p.SetMetrics(o.Pipe)
+		p.SetTraceRing(o.Trace)
+		p.Machine().AttachMetrics(o.CPU)
+	}
 	if err := p.Load(prog); err != nil {
 		res.Err = err
 		return

@@ -1,0 +1,72 @@
+package farm
+
+// Engine-level observability: queue/in-flight gauges, pool traffic
+// counters, a per-job latency histogram, and the shared machine-level
+// counter sets (cpu/qat/pipeline) that get attached to every pooled machine
+// for the duration of its job. One Obs aggregates across all workers of all
+// batches — the handles are atomic — so a farm under load exports exactly
+// the per-opcode/per-stage view a single instrumented machine would,
+// summed over the fleet.
+
+import (
+	"tangled/internal/cpu"
+	"tangled/internal/obs"
+	"tangled/internal/pipeline"
+)
+
+// jobLatencyBuckets spans assembly-included job times from microseconds
+// (tiny functional programs) to the tens of seconds of deep factoring runs.
+var jobLatencyBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30,
+}
+
+// Obs is the engine's observability hook-up; construct with NewObs and
+// attach with Engine.SetObs. A nil Obs (or nil registry) disables
+// everything.
+type Obs struct {
+	// QueueDepth is the number of jobs of the current batch not yet
+	// finished (queued + running); InFlight the jobs executing right now.
+	QueueDepth, InFlight *obs.Gauge
+	// JobsDone counts completed jobs, JobErrors the subset that failed.
+	JobsDone, JobErrors *obs.Counter
+	// PoolHits/PoolMisses mirror Stats pool accounting as live counters.
+	PoolHits, PoolMisses *obs.Counter
+	// JobSeconds is the per-job wall-clock latency distribution, assembly
+	// included.
+	JobSeconds *obs.Histogram
+
+	// CPU (with its embedded Qat set) and Pipe are attached to every
+	// machine the engine runs, pooled or fresh, for the duration of a job.
+	CPU  *cpu.Metrics
+	Pipe *pipeline.Metrics
+
+	// Trace, when non-nil, receives the cycle trace of every pipelined job
+	// (rows from concurrent jobs interleave; the ring is goroutine-safe).
+	Trace *obs.TraceRing
+}
+
+// NewObs registers the farm metric set on r, or returns nil when r is nil.
+func NewObs(r *obs.Registry) *Obs {
+	if r == nil {
+		return nil
+	}
+	return &Obs{
+		QueueDepth: r.Gauge("farm_queue_depth", "jobs of the current batch not yet finished"),
+		InFlight:   r.Gauge("farm_jobs_in_flight", "jobs executing right now"),
+		JobsDone:   r.Counter("farm_jobs_done_total", "completed jobs"),
+		JobErrors:  r.Counter("farm_job_errors_total", "jobs that finished with an error"),
+		PoolHits:   r.Counter("farm_pool_hits_total", "jobs served by a recycled machine"),
+		PoolMisses: r.Counter("farm_pool_misses_total", "jobs that allocated a machine"),
+		JobSeconds: r.Histogram("farm_job_seconds", "per-job wall-clock latency", jobLatencyBuckets),
+		CPU:        cpu.NewMetrics(r),
+		Pipe:       pipeline.NewMetrics(r),
+	}
+}
+
+// SetObs attaches (or with nil detaches) the engine's observability
+// hook-up. Safe to call concurrently with Run; batches pick up the value
+// current when they start a job.
+func (e *Engine) SetObs(o *Obs) { e.obs.Store(o) }
+
+// currentObs returns the attachment, nil when disabled.
+func (e *Engine) currentObs() *Obs { return e.obs.Load() }

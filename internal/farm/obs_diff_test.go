@@ -1,0 +1,236 @@
+package farm_test
+
+// Metrics-consistency property test: the observability counters are a second
+// witness of execution, so over the same seeded random-program corpus as the
+// differential harness (diff_test.go) they must agree EXACTLY — with the
+// Stats structs they refine and with each other across execution modes.
+// For every corpus program:
+//
+//   - functional, 4-stage and 5-stage instrumented runs must count the same
+//     instruction mix (per-opcode retire counters) and the same Qat work
+//     (per-op and AoB word-op counters) as the functional reference;
+//   - each pipeline's counter set must mirror its own Stats field for field
+//     (cycles, retired, stall causes, flushes);
+//   - the farm, running all three modes through shared atomic handles, must
+//     report exactly the sum of what the standalone runs counted.
+//
+// A drift here means instrumentation is lying about the machine it watches,
+// even if architectural state still agrees.
+
+import (
+	"strings"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/farm"
+	"tangled/internal/isa"
+	"tangled/internal/obs"
+	"tangled/internal/pipeline"
+)
+
+// obsDiffPrograms trims the corpus for the instrumented pass: each program
+// runs four more times with registries attached, and a quarter of the
+// corpus already covers every generator production.
+const obsDiffPrograms = 50
+
+// counts is the flat counter view this test compares across modes.
+type counts struct {
+	retired  uint64 // cpu_op_retired_total summed over opcodes
+	perOp    [64]uint64
+	qatOps   uint64 // qat_op_executed_total summed
+	wordOps  uint64 // qat_aob_word_ops_total
+	insts    uint64 // Stats.Insts of the run itself
+	qatInsts uint64 // Stats.QatInsts
+}
+
+func collectCounts(m *cpu.Metrics, insts, qatInsts uint64) counts {
+	var c counts
+	c.insts, c.qatInsts = insts, qatInsts
+	for op := 0; op < isa.NumOps; op++ {
+		v := m.OpRetired.At(op).Value()
+		c.perOp[op] = v
+		c.retired += v
+	}
+	c.qatOps = m.Qat.Ops.Total()
+	c.wordOps = m.Qat.WordOps.Value()
+	return c
+}
+
+// runFunctionalObs executes prog on an instrumented functional machine.
+func runFunctionalObs(t *testing.T, prog *asm.Program) counts {
+	t.Helper()
+	reg := obs.NewRegistry()
+	mm := cpu.NewMetrics(reg)
+	m := cpu.New(diffWays)
+	var out strings.Builder
+	m.Out = &out
+	m.AttachMetrics(mm)
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(diffBudget); err != nil {
+		t.Fatal(err)
+	}
+	return collectCounts(mm, m.Stats.Insts, m.Stats.QatInsts)
+}
+
+// runPipeObs executes prog on an instrumented pipeline and cross-checks the
+// pipeline counter family against the pipeline's own Stats.
+func runPipeObs(t *testing.T, prog *asm.Program, cfg pipeline.Config) counts {
+	t.Helper()
+	reg := obs.NewRegistry()
+	mm := cpu.NewMetrics(reg)
+	pm := pipeline.NewMetrics(reg)
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	p.SetOutput(&out)
+	p.SetMetrics(pm)
+	p.Machine().AttachMetrics(mm)
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(diffBudget); err != nil {
+		t.Fatalf("%d-stage run: %v", cfg.Stages, err)
+	}
+
+	s := p.Stats
+	if got := pm.Cycles.Value(); got != s.Cycles {
+		t.Errorf("%d-stage: pipeline_cycles_total %d != Stats.Cycles %d", cfg.Stages, got, s.Cycles)
+	}
+	if got := pm.Retired.Value(); got != s.Insts {
+		t.Errorf("%d-stage: pipeline_insts_retired_total %d != Stats.Insts %d", cfg.Stages, got, s.Insts)
+	}
+	if got := pm.BranchFlushes.Value(); got != s.BranchFlushes {
+		t.Errorf("%d-stage: pipeline_branch_flushes_total %d != Stats.BranchFlushes %d", cfg.Stages, got, s.BranchFlushes)
+	}
+	wantStalls := []uint64{s.LoadUseStalls, s.RawStalls, s.ExBusyStalls, s.FetchStalls, s.FlushCycles}
+	for i, want := range wantStalls {
+		if got := pm.Stalls.At(i).Value(); got != want {
+			t.Errorf("%d-stage: stall cause %d counter %d != Stats field %d", cfg.Stages, i, got, want)
+		}
+	}
+	if got, want := pm.Stalls.Total(), s.TotalStalls(); got != want {
+		t.Errorf("%d-stage: stall counter total %d != Stats.TotalStalls %d", cfg.Stages, got, want)
+	}
+	return collectCounts(mm, s.Insts, p.Machine().Stats.QatInsts)
+}
+
+func checkCounts(t *testing.T, i int, name string, got, ref counts, src string) {
+	t.Helper()
+	if got.retired != got.insts {
+		t.Errorf("program %d: %s retire counter %d != its own Stats.Insts %d\n%s", i, name, got.retired, got.insts, src)
+	}
+	if got.qatOps != got.qatInsts {
+		t.Errorf("program %d: %s qat op counter %d != its own Stats.QatInsts %d\n%s", i, name, got.qatOps, got.qatInsts, src)
+	}
+	if got.perOp != ref.perOp {
+		t.Errorf("program %d: %s per-opcode retire counts diverge from functional\n%s", i, name, src)
+	}
+	if got.wordOps != ref.wordOps {
+		t.Errorf("program %d: %s AoB word-ops %d != functional %d\n%s", i, name, got.wordOps, ref.wordOps, src)
+	}
+}
+
+// TestMetricsConsistencyAcrossModes is the harness entry: counters from the
+// functional machine, both pipelines, and a farm running all three must
+// agree exactly, program by program and summed over the corpus.
+func TestMetricsConsistencyAcrossModes(t *testing.T) {
+	freg := obs.NewRegistry()
+	fo := farm.NewObs(freg)
+	engine := farm.New(0)
+	engine.SetObs(fo)
+
+	var want counts // expected farm aggregate: 3x each program's functional counts, pipeline-adjusted
+	var wantCycles, wantRetired uint64
+	var jobsRun uint64
+	for i := 0; i < obsDiffPrograms; i++ {
+		src := generate(0xDE17 + int64(i)) // same corpus seeds as diff_test.go
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("program %d does not assemble: %v\n%s", i, err, src)
+		}
+		ref := runFunctionalObs(t, prog)
+		checkCounts(t, i, "functional", ref, ref, src)
+		p4cfg, p5cfg := pipeConfigs(i)
+		c4 := runPipeObs(t, prog, p4cfg)
+		checkCounts(t, i, "pipe4", c4, ref, src)
+		c5 := runPipeObs(t, prog, p5cfg)
+		checkCounts(t, i, "pipe5", c5, ref, src)
+
+		// The farm runs the same three modes through one shared counter set.
+		jobs := []farm.Job{
+			{Name: "farm-func", Prog: prog, Mode: farm.Functional, Ways: diffWays},
+			{Name: "farm-pipe4", Prog: prog, Mode: farm.Pipelined, Pipeline: p4cfg},
+			{Name: "farm-pipe5", Prog: prog, Mode: farm.Pipelined, Pipeline: p5cfg},
+		}
+		results, _ := engine.Run(nil, jobs)
+		for _, res := range results {
+			if res.Err != nil {
+				t.Fatalf("program %d, %s: %v\n%s", i, res.Name, res.Err, src)
+			}
+			if res.Pipe != nil {
+				wantCycles += res.Pipe.Cycles
+			}
+		}
+		jobsRun += uint64(len(jobs))
+		for op := range want.perOp {
+			want.perOp[op] += ref.perOp[op] + c4.perOp[op] + c5.perOp[op]
+		}
+		want.retired += ref.retired + c4.retired + c5.retired
+		want.qatOps += ref.qatOps + c4.qatOps + c5.qatOps
+		want.wordOps += ref.wordOps + c4.wordOps + c5.wordOps
+		wantRetired += c4.insts + c5.insts
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+
+	// Fleet-wide aggregation: the farm's shared handles must hold exactly
+	// the sum of the standalone instrumented runs.
+	got := collectCounts(fo.CPU, 0, 0)
+	if got.perOp != want.perOp {
+		for op := 0; op < isa.NumOps; op++ {
+			if got.perOp[op] != want.perOp[op] {
+				t.Errorf("farm aggregate: op %s retired %d, standalone sum %d",
+					isa.Op(op).Name(), got.perOp[op], want.perOp[op])
+			}
+		}
+	}
+	if got.retired != want.retired {
+		t.Errorf("farm aggregate: retired %d, standalone sum %d", got.retired, want.retired)
+	}
+	if got.qatOps != want.qatOps {
+		t.Errorf("farm aggregate: qat ops %d, standalone sum %d", got.qatOps, want.qatOps)
+	}
+	if got.wordOps != want.wordOps {
+		t.Errorf("farm aggregate: AoB word ops %d, standalone sum %d", got.wordOps, want.wordOps)
+	}
+	if got := fo.Pipe.Cycles.Value(); got != wantCycles {
+		t.Errorf("farm aggregate: pipeline cycles %d, per-job sum %d", got, wantCycles)
+	}
+	if got := fo.Pipe.Retired.Value(); got != wantRetired {
+		t.Errorf("farm aggregate: pipeline retired %d, standalone sum %d", got, wantRetired)
+	}
+	if got := fo.JobsDone.Value(); got != jobsRun {
+		t.Errorf("farm: jobs done %d, ran %d", got, jobsRun)
+	}
+	if got := fo.JobErrors.Value(); got != 0 {
+		t.Errorf("farm: %d job errors", got)
+	}
+	if got := fo.JobSeconds.Count(); got != jobsRun {
+		t.Errorf("farm: latency histogram count %d, jobs %d", got, jobsRun)
+	}
+	if got := fo.QueueDepth.Value(); got != 0 {
+		t.Errorf("farm: queue depth %d after all batches drained", got)
+	}
+	if got := fo.InFlight.Value(); got != 0 {
+		t.Errorf("farm: in-flight %d after all batches drained", got)
+	}
+	if hits, misses := fo.PoolHits.Value(), fo.PoolMisses.Value(); hits+misses != jobsRun {
+		t.Errorf("farm: pool hits %d + misses %d != jobs %d", hits, misses, jobsRun)
+	}
+}

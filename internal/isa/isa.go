@@ -100,6 +100,11 @@ const (
 	RegSP = 15 // stack pointer
 )
 
+// NumOps is the number of defined opcodes, Tangled and Qat together —
+// the index space for dense per-opcode tables (timing models, performance
+// counters).
+const NumOps = int(numOps)
+
 // NumRegs is the Tangled general register file size.
 const NumRegs = 16
 

@@ -1,0 +1,74 @@
+package obs
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the JSONL trace decoder and
+// pins two properties on whatever decodes successfully:
+//
+//  1. re-encoding is always possible, and
+//  2. encode -> decode -> encode is a fixed point (byte-identical), i.e.
+//     normalized events survive the codec exactly.
+//
+// The seeds cover the header, every TraceEvent field, eviction-shaped
+// streams, and near-miss headers. Run under CI alongside the asm/isa
+// fuzzers (see .github/workflows/ci.yml).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func FuzzTraceRoundTrip(f *testing.F) {
+	seed := func(events []TraceEvent) {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, events); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(nil)
+	seed([]TraceEvent{{Cycle: 1, PC: 2, Stages: []string{"IF", "ID", "EXM", "WB"}}})
+	seed([]TraceEvent{
+		{Cycle: 1, PC: 0, Inst: "lex $1,-5"},
+		{Cycle: 2, PC: 1, Event: "load-use;fetch"},
+		{Cycle: 3, PC: 0xFFFF, Stages: []string{"--"}, Event: "halt"},
+	})
+	f.Add([]byte(`{"schema":"tangled-cycle-trace","version":1}` + "\n" +
+		`{"cycle":18446744073709551615,"pc":65535,"stages":[],"event":"flush"}` + "\n"))
+	f.Add([]byte(`{"schema":"tangled-cycle-trace","version":2}` + "\n"))
+	f.Add([]byte(`{"schema":"bogus","version":1}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		var enc1 bytes.Buffer
+		if err := WriteJSONL(&enc1, events); err != nil {
+			t.Fatalf("decoded events failed to re-encode: %v", err)
+		}
+		back, err := ReadJSONL(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("own encoding failed to decode: %v\n%s", err, enc1.Bytes())
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(back))
+		}
+		var enc2 bytes.Buffer
+		if err := WriteJSONL(&enc2, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encode is not a fixed point:\n%s\nvs\n%s", enc1.Bytes(), enc2.Bytes())
+		}
+		// Field-level equality (not just encoding equality) for the fields
+		// the golden-trace differ relies on.
+		for i := range events {
+			if events[i].Cycle != back[i].Cycle || events[i].PC != back[i].PC ||
+				events[i].Inst != back[i].Inst || events[i].Event != back[i].Event ||
+				!reflect.DeepEqual(events[i].Stages, back[i].Stages) {
+				t.Fatalf("event %d changed: %+v -> %+v", i, events[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package obs
+
+// Cycle tracing: a bounded ring of per-cycle (or per-instruction) events
+// with a line-oriented JSON export, the machine-readable counterpart of the
+// textual pipeline diagram in internal/pipeline/trace.go. The ring bounds
+// memory no matter how long a run is — a trace of the last N cycles is what
+// an operator wants from a misbehaving long job, and it is what a golden
+// regression test wants from a short one (pick N larger than the run).
+//
+// The JSONL stream is versioned: the first line is a header record naming
+// the schema and version (see docs/TRACE.md), every following line is one
+// TraceEvent. Encode and decode are exact inverses over normalized events,
+// a property pinned by FuzzTraceRoundTrip.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceSchema names the JSONL trace stream format.
+const TraceSchema = "tangled-cycle-trace"
+
+// TraceSchemaVersion is bumped whenever a TraceEvent field changes meaning;
+// docs/TRACE.md records the history.
+const TraceSchemaVersion = 1
+
+// TraceEvent is one row of a cycle trace. Pipelined runs emit one event per
+// clock with the start-of-cycle stage occupancy and the hazard causes the
+// cycle incurred; functional runs emit one event per retired instruction
+// with its disassembly.
+type TraceEvent struct {
+	// Cycle is the clock cycle (pipelined) or retired-instruction ordinal
+	// (functional), 1-based.
+	Cycle uint64 `json:"cycle"`
+	// PC is the program counter of the instruction in EX (pipelined, or the
+	// fetch PC when EX is empty) or of the retired instruction (functional).
+	PC uint16 `json:"pc"`
+	// Inst is the instruction disassembly (functional traces only).
+	Inst string `json:"inst,omitempty"`
+	// Stages is the stage occupancy at the start of the cycle, in pipeline
+	// order ("--" marks a bubble); pipelined traces only.
+	Stages []string `json:"stages,omitempty"`
+	// Event names what the cycle lost or resolved, as semicolon-joined
+	// causes in fixed order: load-use, raw, ex-busy, fetch, flush, halt.
+	// Empty for a cycle that just advanced.
+	Event string `json:"event,omitempty"`
+}
+
+// normalize folds semantically empty values to their canonical form so
+// encode/decode round-trips are exact.
+func (e *TraceEvent) normalize() {
+	if len(e.Stages) == 0 {
+		e.Stages = nil
+	}
+}
+
+// TraceRing is a bounded, goroutine-safe event buffer: appends beyond the
+// capacity overwrite the oldest events and are tallied in Dropped. A nil
+// ring ignores appends, so machines can call Append unconditionally.
+type TraceRing struct {
+	mu      sync.Mutex
+	buf     []TraceEvent
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// DefaultTraceCap is the ring capacity used when none is given: deep enough
+// for every program in this repository's test corpus, ~1.5 MB at the zero
+// Stages/Inst footprint.
+const DefaultTraceCap = 16384
+
+// NewTraceRing returns a ring holding the last capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceRing{buf: make([]TraceEvent, capacity)}
+}
+
+// Append records one event, evicting the oldest when full.
+func (t *TraceRing) Append(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	e.normalize()
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *TraceRing) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Dropped returns how many events were evicted by later appends.
+func (t *TraceRing) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the buffered events, oldest first, as a copy.
+func (t *TraceRing) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]TraceEvent(nil), t.buf[:t.next]...)
+	}
+	out := make([]TraceEvent, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// Reset empties the ring without shrinking its buffer.
+func (t *TraceRing) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next, t.full, t.dropped = 0, false, 0
+	t.mu.Unlock()
+}
+
+// WriteJSONL exports the ring's events; see the package-level WriteJSONL.
+func (t *TraceRing) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, t.Events())
+}
+
+// traceHeader is the first line of a JSONL trace stream.
+type traceHeader struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+}
+
+// WriteJSONL writes the versioned header line followed by one JSON object
+// per event.
+func WriteJSONL(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Schema: TraceSchema, Version: TraceSchemaVersion}); err != nil {
+		return err
+	}
+	for i := range events {
+		e := events[i]
+		e.normalize()
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxTraceLine bounds one JSONL line; stage occupancy rows are far below
+// this even with every stage holding a worst-case disassembly.
+const maxTraceLine = 1 << 20
+
+// ReadJSONL decodes a stream produced by WriteJSONL, validating the header.
+// Events are returned normalized, so ReadJSONL(WriteJSONL(evs)) == evs for
+// normalized evs.
+func ReadJSONL(r io.Reader) ([]TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxTraceLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("obs: trace stream is empty (missing header)")
+	}
+	var h traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("obs: bad trace header: %w", err)
+	}
+	if h.Schema != TraceSchema {
+		return nil, fmt.Errorf("obs: trace schema %q, want %q", h.Schema, TraceSchema)
+	}
+	if h.Version != TraceSchemaVersion {
+		return nil, fmt.Errorf("obs: trace schema version %d, this build reads %d", h.Version, TraceSchemaVersion)
+	}
+	var events []TraceEvent
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue // tolerate trailing blank lines
+		}
+		var e TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		e.normalize()
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

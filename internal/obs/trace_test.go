@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func ev(c uint64) TraceEvent {
+	return TraceEvent{Cycle: c, PC: uint16(c * 2), Stages: []string{"IF", "--"}, Event: "load-use"}
+}
+
+func TestTraceRingBounds(t *testing.T) {
+	r := NewTraceRing(4)
+	for c := uint64(1); c <= 10; c++ {
+		r.Append(ev(c))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	got := r.Events()
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if got[i].Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (evictions must keep the newest)", i, got[i].Cycle, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset must empty the ring")
+	}
+}
+
+func TestTraceRingPartiallyFull(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Append(ev(1))
+	r.Append(ev(2))
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	if got := r.Events(); len(got) != 2 || got[0].Cycle != 1 || got[1].Cycle != 2 {
+		t.Fatalf("events = %+v", got)
+	}
+}
+
+func TestNilTraceRing(t *testing.T) {
+	var r *TraceRing
+	r.Append(ev(1)) // must not panic
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil ring must read as empty")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []TraceEvent{
+		{Cycle: 1, PC: 0, Stages: []string{"lex $1,3", "--", "--", "--"}},
+		{Cycle: 2, PC: 1, Stages: []string{"add $1,$2", "lex $1,3", "--", "--"}, Event: "load-use"},
+		{Cycle: 3, PC: 4, Inst: "sys", Event: "halt"},
+		{Cycle: 4, PC: 0xFFFF},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(events)+1 {
+		t.Fatalf("wrote %d lines, want %d (header + events)", got, len(events)+1)
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":"tangled-cycle-trace","version":1}`) {
+		t.Fatalf("missing header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", back, events)
+	}
+}
+
+func TestReadJSONLRejectsBadHeaders(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"not json":      "cycle trace\n",
+		"wrong schema":  `{"schema":"other","version":1}` + "\n",
+		"wrong version": fmt.Sprintf(`{"schema":%q,"version":%d}`+"\n", TraceSchema, TraceSchemaVersion+1),
+		"bad event":     fmt.Sprintf(`{"schema":%q,"version":%d}`+"\n{bad}\n", TraceSchema, TraceSchemaVersion),
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewTraceRing(2)
+	for c := uint64(1); c <= 3; c++ {
+		r.Append(ev(c))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Cycle != 2 || back[1].Cycle != 3 {
+		t.Fatalf("ring export = %+v", back)
+	}
+}
+
+func TestTraceRingConcurrentAppend(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Append(ev(uint64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 || r.Dropped() != 4*500-64 {
+		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/cpu"
 	"tangled/internal/isa"
+	"tangled/internal/obs"
 )
 
 // Config selects a pipeline organization.
@@ -150,6 +151,11 @@ type Pipeline struct {
 	stopFetch bool // halt observed; drain
 
 	tracer Tracer
+
+	// Observability attachments (see metrics.go); nil when disabled.
+	met           *Metrics
+	stageLabelIdx []int
+	ring          *obs.TraceRing
 
 	Stats Stats
 }
@@ -297,6 +303,32 @@ func (p *Pipeline) hazardStall() (stall, loadUse bool) {
 // Cycle advances the machine by one clock. It returns (done, error); done
 // becomes true once the pipeline has fully drained after a halt.
 func (p *Pipeline) Cycle() (bool, error) {
+	if p.met == nil && p.ring == nil {
+		return p.cycle()
+	}
+	// Capture the start-of-cycle view (the latch state a waveform viewer
+	// would show), run the clock, then account what the cycle did.
+	pre := p.Stats
+	occupied := make([]bool, len(p.lat))
+	for i := range p.lat {
+		occupied[i] = p.lat[i].valid
+	}
+	var stages []string
+	pc := p.fetchPC
+	if ex := p.lat[p.exIdx()]; ex.valid {
+		pc = ex.pc
+	}
+	if p.ring != nil {
+		stages = p.Occupancy()
+	}
+	done, err := p.cycle()
+	p.observe(pre, occupied, stages, pc, done)
+	return done, err
+}
+
+// cycle is the uninstrumented clock: the hot path when no metrics or trace
+// ring are attached.
+func (p *Pipeline) cycle() (bool, error) {
 	p.Stats.Cycles++
 	if p.tracer != nil {
 		p.tracer(p.Stats.Cycles, p.Occupancy())

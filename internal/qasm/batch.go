@@ -41,22 +41,34 @@ func collect(frs []farm.Result) ([]*Result, error) {
 // (workers <= 0 means GOMAXPROCS). Results are in input order; failed
 // programs leave a nil slot and contribute to the joined error.
 func RunFunctionalBatch(ctx context.Context, srcs []string, ways, workers int) ([]*Result, farm.Stats, error) {
+	return RunFunctionalBatchOn(ctx, farm.New(workers), srcs, ways)
+}
+
+// RunFunctionalBatchOn is RunFunctionalBatch on a caller-supplied engine,
+// so the caller keeps the engine's pools warm across batches and can attach
+// observability (farm.Engine.SetObs) before running.
+func RunFunctionalBatchOn(ctx context.Context, e *farm.Engine, srcs []string, ways int) ([]*Result, farm.Stats, error) {
 	jobs := make([]farm.Job, len(srcs))
 	for i, src := range srcs {
 		jobs[i] = farm.Job{Name: fmt.Sprintf("func-%d", i), Src: src, Mode: farm.Functional, Ways: ways, MaxSteps: MaxSteps}
 	}
-	frs, stats := farm.New(workers).Run(ctx, jobs)
+	frs, stats := e.Run(ctx, jobs)
 	res, err := collect(frs)
 	return res, stats, err
 }
 
 // RunPipelinedBatch is RunFunctionalBatch on the cycle-accurate pipeline.
 func RunPipelinedBatch(ctx context.Context, srcs []string, cfg pipeline.Config, workers int) ([]*Result, farm.Stats, error) {
+	return RunPipelinedBatchOn(ctx, farm.New(workers), srcs, cfg)
+}
+
+// RunPipelinedBatchOn is RunPipelinedBatch on a caller-supplied engine.
+func RunPipelinedBatchOn(ctx context.Context, e *farm.Engine, srcs []string, cfg pipeline.Config) ([]*Result, farm.Stats, error) {
 	jobs := make([]farm.Job, len(srcs))
 	for i, src := range srcs {
 		jobs[i] = farm.Job{Name: fmt.Sprintf("pipe-%d", i), Src: src, Mode: farm.Pipelined, Pipeline: cfg, MaxSteps: MaxSteps}
 	}
-	frs, stats := farm.New(workers).Run(ctx, jobs)
+	frs, stats := e.Run(ctx, jobs)
 	res, err := collect(frs)
 	return res, stats, err
 }
@@ -66,6 +78,12 @@ func RunPipelinedBatch(ctx context.Context, srcs []string, cfg pipeline.Config, 
 // any generation error in that slot), then executed on workers pooled
 // pipelines. Reports are in input order with nil slots for failures.
 func FactorBatch(ctx context.Context, ns []uint64, aBits, bBits int, copts compile.Options, pcfg pipeline.Config, workers int) ([]*FactorReport, farm.Stats, error) {
+	return FactorBatchOn(ctx, farm.New(workers), ns, aBits, bBits, copts, pcfg)
+}
+
+// FactorBatchOn is FactorBatch on a caller-supplied engine (see
+// RunFunctionalBatchOn for why a caller would supply one).
+func FactorBatchOn(ctx context.Context, e *farm.Engine, ns []uint64, aBits, bBits int, copts compile.Options, pcfg pipeline.Config) ([]*FactorReport, farm.Stats, error) {
 	pcfg.ConstantRegs = copts.ConstantRegs
 	jobs := make([]farm.Job, 0, len(ns))
 	type slot struct {
@@ -94,7 +112,7 @@ func FactorBatch(ctx context.Context, ns []uint64, aBits, bBits int, copts compi
 			Mode: farm.Pipelined, Pipeline: pcfg, MaxSteps: MaxSteps,
 		})
 	}
-	frs, stats := farm.New(workers).Run(ctx, jobs)
+	frs, stats := e.Run(ctx, jobs)
 
 	reports := make([]*FactorReport, len(ns))
 	var errs []error

@@ -32,6 +32,12 @@ type Coprocessor struct {
 	// Meter, when non-nil, accumulates switching/erasure energy proxies
 	// for every executed operation (see package energy).
 	Meter *energy.Meter
+
+	// Metrics, when non-nil, feeds the shared performance-counter set (see
+	// metrics.go). Like Meter it is a host attachment, but unlike Meter it
+	// is detached by cpu.Machine.Reset: counters are per-tenant, energy
+	// metering spans runs by design.
+	Metrics *Metrics
 }
 
 // New returns a Qat coprocessor with ways-way entanglement and all
@@ -118,6 +124,16 @@ func (q *Coprocessor) checkWrite(qa uint8) error {
 func (q *Coprocessor) Exec(inst isa.Inst, rd uint16) (out uint16, writes bool, err error) {
 	q.Ops[inst.Op]++
 	a := q.regs[inst.QA]
+	if q.Metrics != nil {
+		// The op counter mirrors Ops (attempts); the word-op counter is
+		// charged on success only, in the deferred hook below.
+		q.Metrics.Ops.At(int(inst.Op) - int(isa.OpQZero)).Inc()
+		defer func() {
+			if err == nil {
+				q.Metrics.WordOps.Add(wordOpsFor(inst.Op, a.NumWords()))
+			}
+		}()
+	}
 	var snapA, snapB *aob.Vector
 	if q.Meter != nil {
 		switch inst.Op {

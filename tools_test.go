@@ -7,8 +7,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"tangled/internal/obs"
 )
 
 // buildTool compiles one command into dir and returns the binary path.
@@ -148,6 +151,136 @@ func TestQatSubsetTool(t *testing.T) {
 	}
 	if !strings.Contains(out, "(sum 10)") {
 		t.Errorf("first solution line missing: %q", out)
+	}
+}
+
+// promSample matches one Prometheus text-format sample line:
+// name{optional labels} value.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+
+// checkPromFile asserts the file is parseable Prometheus text exposition
+// format and returns its contents.
+func checkPromFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("unparseable Prometheus line: %q", line)
+		}
+	}
+	return string(data)
+}
+
+// checkTraceFile asserts the file is a valid versioned JSONL cycle trace
+// and returns its events.
+func checkTraceFile(t *testing.T, path string) []obs.TraceEvent {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("trace %s: %v", path, err)
+	}
+	if len(events) == 0 {
+		t.Fatalf("trace %s has no events", path)
+	}
+	return events
+}
+
+func TestObservabilityFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	farmBin := buildTool(t, dir, "qatfarm")
+	runBin := buildTool(t, dir, "tangled-run")
+
+	// qatfarm -metrics/-trace: factor three semiprimes and check both exports.
+	metrics := filepath.Join(dir, "farm.prom")
+	trace := filepath.Join(dir, "farm.jsonl")
+	out, stderr, err := runTool(t, farmBin, "", "-metrics", metrics, "-trace", trace, "15", "21", "35")
+	if err != nil {
+		t.Fatalf("qatfarm: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(out, "15 = 5 x 3") {
+		t.Errorf("qatfarm output: %q", out)
+	}
+	text := checkPromFile(t, metrics)
+	for _, frag := range []string{
+		"farm_jobs_done_total 3",
+		"farm_job_errors_total 0",
+		"# TYPE cpu_op_retired_total counter",
+		"# TYPE pipeline_cycles_total counter",
+		"# TYPE farm_job_seconds histogram",
+		`farm_job_seconds_bucket{le="+Inf"} 3`,
+		"qat_aob_word_ops_total",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("qatfarm metrics missing %q", frag)
+		}
+	}
+	for _, ev := range checkTraceFile(t, trace) {
+		if len(ev.Stages) == 0 && ev.Event == "" {
+			t.Errorf("pipeline trace event with neither stages nor event: %+v", ev)
+			break
+		}
+	}
+
+	// tangled-run, functional and pipelined, same flags.
+	src := filepath.Join(dir, "prog.asm")
+	if err := os.WriteFile(src, []byte(`
+	had @3,4
+	lex $8,42
+	next $8,@3
+	copy $1,$8
+	lex $0,1
+	sys
+	lex $0,0
+	sys
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"functional", "pipeline"} {
+		metrics := filepath.Join(dir, mode+".prom")
+		trace := filepath.Join(dir, mode+".jsonl")
+		args := []string{"-metrics", metrics, "-trace", trace}
+		if mode == "pipeline" {
+			args = append(args, "-pipeline")
+		}
+		out, stderr, err := runTool(t, runBin, "", append(args, src)...)
+		if err != nil || out != "48\n" {
+			t.Fatalf("tangled-run %s: %q %v\n%s", mode, out, err, stderr)
+		}
+		text := checkPromFile(t, metrics)
+		for _, frag := range []string{
+			"# TYPE cpu_op_retired_total counter",
+			`cpu_op_retired_total{op="sys"} 2`,
+			`qat_op_executed_total{op="had"} 1`,
+			"qat_energy_switched_bits",
+		} {
+			if !strings.Contains(text, frag) {
+				t.Errorf("tangled-run %s metrics missing %q", mode, frag)
+			}
+		}
+		events := checkTraceFile(t, trace)
+		if mode == "functional" {
+			// One retire event per executed instruction, in program order.
+			if events[0].Event != "retire" || events[0].Inst == "" {
+				t.Errorf("functional trace head: %+v", events[0])
+			}
+			if len(events) != 8 {
+				t.Errorf("functional trace: %d events, want 8", len(events))
+			}
+		}
 	}
 }
 
