@@ -1,0 +1,158 @@
+// qatserver serves the Qat execution fleet over HTTP: the networked face of
+// internal/server. It accepts Tangled/Qat assembly or pre-assembled word
+// images on POST /v1/run and /v1/batch, executes them on the concurrent
+// farm, and streams results back as JSON/NDJSON, with admission control
+// (bounded queue, 429 + Retry-After beyond it), dynamic batching of single
+// submissions, per-request deadlines, and a graceful drain on
+// SIGINT/SIGTERM: intake stops (healthz flips to 503), every admitted job
+// finishes and delivers its response, and only then are metrics and the
+// cycle trace flushed to disk.
+//
+// Usage:
+//
+//	qatserver [-addr HOST:PORT] [-workers N] [-queue N]
+//	          [-batch-window D] [-batch-max N]
+//	          [-metrics FILE] [-trace FILE] [-drain-timeout D] [-quiet]
+//
+// Examples:
+//
+//	qatserver                          # serve on 127.0.0.1:8080
+//	qatserver -addr :9090 -workers 4   # all interfaces, four workers
+//	qatserver -metrics m.prom -trace t.jsonl   # flush both on drain
+//
+// The metrics registry is always on (it also backs GET /metrics and the
+// /debug/ face); -metrics FILE additionally writes the Prometheus text
+// rendering at shutdown ("-" for stdout). -trace FILE exports the pipeline
+// cycle-trace ring as versioned JSONL (docs/TRACE.md), each row stamped
+// with the request ID that produced it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tangled/internal/obs"
+	"tangled/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue limit (default 256)")
+	batchWindow := flag.Duration("batch-window", 0, "coalescer latency window (default 2ms)")
+	batchMax := flag.Int("batch-max", 0, "max jobs per coalesced/chunked batch (default 64)")
+	metricsOut := flag.String("metrics", "", "write Prometheus text to FILE at shutdown (\"-\" for stdout)")
+	traceOut := flag.String("trace", "", "write the cycle trace as JSONL to FILE at shutdown")
+	portFile := flag.String("port-file", "", "write the bound address to FILE once listening (for -addr :0 scripting)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress startup/drain log lines")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "qatserver: unexpected arguments; see -h")
+		os.Exit(2)
+	}
+
+	logf := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "qatserver: "+format+"\n", args...)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	var ring *obs.TraceRing
+	if *traceOut != "" {
+		ring = obs.NewTraceRing(0)
+	}
+	srv := server.New(server.Config{
+		Workers:     *workers,
+		QueueLimit:  *queue,
+		BatchWindow: *batchWindow,
+		BatchMax:    *batchMax,
+		Registry:    reg,
+		Trace:       ring,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qatserver: %v\n", err)
+		os.Exit(1)
+	}
+	logf("serving on http://%s (%d workers, queue %d)",
+		bound, srv.Engine().Workers(), srv.QueueLimit())
+	if *portFile != "" {
+		// The file appearing is the "listening" signal for scripts that
+		// started us with -addr 127.0.0.1:0.
+		if err := os.WriteFile(*portFile, []byte(bound.String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "qatserver: port-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Graceful drain on SIGINT/SIGTERM: stop intake, finish admitted work,
+	// then flush observability artifacts. A second signal aborts hard.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	logf("received %v, draining (timeout %v)", sig, *drainTimeout)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "qatserver: second signal, aborting")
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	exitCode := 0
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "qatserver: drain: %v\n", err)
+		exitCode = 1
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "qatserver: metrics: %v\n", err)
+			exitCode = 1
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, ring); err != nil {
+			fmt.Fprintf(os.Stderr, "qatserver: trace: %v\n", err)
+			exitCode = 1
+		}
+	}
+	logf("drained cleanly")
+	os.Exit(exitCode)
+}
+
+// writeMetrics renders the registry as Prometheus text exposition format.
+func writeMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		reg.WritePrometheus(os.Stdout)
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	reg.WritePrometheus(f)
+	return f.Close()
+}
+
+// writeTrace exports the trace ring as versioned JSONL.
+func writeTrace(path string, ring *obs.TraceRing) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ring.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if n := ring.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "qatserver: trace ring dropped %d oldest events\n", n)
+	}
+	return f.Close()
+}

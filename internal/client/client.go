@@ -1,0 +1,319 @@
+// Package client is the Go client for the Qat serving API (internal/server):
+// typed wrappers over POST /v1/run, /v1/batch, /v1/assemble and the GET
+// endpoints, with the retry discipline a remote accelerator front-end needs —
+// exponential backoff with full jitter, Retry-After honored on 429/503
+// backpressure, and idempotent resubmission: every run is assigned its
+// request ID before the first attempt, so a retry after a lost response
+// replays the server's cached result instead of re-executing.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tangled/internal/server"
+)
+
+// Config parameterizes a Client; the zero value (plus a BaseURL) is a
+// sensible production client.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means a dedicated
+	// http.Client with no global timeout (deadlines come from ctx).
+	HTTPClient *http.Client
+	// MaxRetries bounds attempts beyond the first; <0 disables retries,
+	// 0 means 4.
+	MaxRetries int
+	// BaseBackoff seeds the exponential schedule; <=0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one sleep; <=0 means 2s.
+	MaxBackoff time.Duration
+}
+
+// Client talks to one qatserver. Safe for concurrent use.
+type Client struct {
+	cfg      Config
+	http     *http.Client
+	jitterMu sync.Mutex
+	rng      *mrand.Rand // jitter source, guarded by jitterMu
+	// sleep is swapped out by tests so retry schedules don't burn wall
+	// clock.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New builds a client for baseURL with Config defaults.
+func New(baseURL string) *Client { return NewWith(Config{BaseURL: baseURL}) }
+
+// NewWith builds a client from an explicit Config.
+func NewWith(cfg Config) *Client {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	h := cfg.HTTPClient
+	if h == nil {
+		h = &http.Client{}
+	}
+	var seed [8]byte
+	rand.Read(seed[:])
+	return &Client{
+		cfg:  cfg,
+		http: h,
+		rng:  mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(seed[:])))),
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+}
+
+// APIError is a non-2xx server response, carrying the decoded body.
+type APIError struct {
+	Status int
+	Resp   server.ErrorResponse
+}
+
+func (e *APIError) Error() string {
+	if len(e.Resp.Lines) > 0 {
+		return fmt.Sprintf("server: HTTP %d: %s (line %d: %s)",
+			e.Status, e.Resp.Error, e.Resp.Lines[0].Line, e.Resp.Lines[0].Msg)
+	}
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Resp.Error)
+}
+
+// retryable reports whether a response status is worth another attempt:
+// backpressure (429, 503) and transient server faults (5xx other than the
+// run-outcome 504, which is the program's deadline, not the transport's).
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusInternalServerError, http.StatusBadGateway:
+		return true
+	}
+	return false
+}
+
+// backoff computes the sleep before attempt n (0-based), honoring a server
+// Retry-After hint when one was given: exponential with full jitter,
+// capped.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := time.Duration(float64(c.cfg.BaseBackoff) * math.Pow(2, float64(attempt)))
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	// Full jitter: uniform in (0, d]. Decorrelates a fleet of clients that
+	// all saw the same 429.
+	c.jitterMu.Lock()
+	d = time.Duration(c.rng.Int63n(int64(d))) + 1
+	c.jitterMu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// post runs one POST with the retry loop; ok bodies decode into out.
+func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(req)
+		var retryAfter time.Duration
+		if err == nil {
+			if resp.StatusCode < 300 {
+				err = json.NewDecoder(resp.Body).Decode(out)
+				resp.Body.Close()
+				return err
+			}
+			apiErr := decodeError(resp)
+			resp.Body.Close()
+			if !retryable(resp.StatusCode) {
+				return apiErr
+			}
+			lastErr = apiErr
+			retryAfter = retryAfterOf(resp, apiErr)
+		} else {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // transport error: always retryable
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(body, &apiErr.Resp); err != nil || apiErr.Resp.Error == "" {
+		apiErr.Resp.Error = strings.TrimSpace(string(body))
+	}
+	return apiErr
+}
+
+func retryAfterOf(resp *http.Response, apiErr *APIError) time.Duration {
+	if apiErr != nil && apiErr.Resp.RetryAfterMs > 0 {
+		return time.Duration(apiErr.Resp.RetryAfterMs) * time.Millisecond
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// Run executes one program. A request without an ID is assigned one before
+// the first attempt, so every retry resubmits the same ID and a duplicate
+// execution is replayed from the server's idempotency cache rather than
+// re-run.
+func (c *Client) Run(ctx context.Context, req server.RunRequest) (server.RunResult, error) {
+	if req.ID == "" {
+		req.ID = NewRequestID()
+	}
+	var out server.RunResult
+	err := c.post(ctx, "/v1/run", &req, &out)
+	return out, err
+}
+
+// Batch executes a program list, returning results in input order after
+// verifying the stream's schema header. The server streams NDJSON; this
+// collects it (load generation reads the stream incrementally instead).
+func (c *Client) Batch(ctx context.Context, req server.BatchRequest) ([]server.RunResult, error) {
+	if req.ID == "" {
+		req.ID = NewRequestID()
+	}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/batch", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 8<<20)
+	if !sc.Scan() {
+		return nil, errors.New("client: empty batch response")
+	}
+	var hdr server.ResultsHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("client: bad results header: %w", err)
+	}
+	if hdr.Schema != server.ResultsSchema || hdr.Version != server.ResultsSchemaVersion {
+		return nil, fmt.Errorf("client: results schema %q v%d, want %q v%d",
+			hdr.Schema, hdr.Version, server.ResultsSchema, server.ResultsSchemaVersion)
+	}
+	results := make([]server.RunResult, 0, hdr.Count)
+	for sc.Scan() {
+		var r server.RunResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("client: bad result line: %w", err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) != hdr.Count {
+		return nil, fmt.Errorf("client: stream truncated: %d results, header said %d", len(results), hdr.Count)
+	}
+	return results, nil
+}
+
+// Assemble assembles source remotely; assembler diagnostics come back as an
+// *APIError with Lines populated.
+func (c *Client) Assemble(ctx context.Context, src string) (server.AssembleResponse, error) {
+	var out server.AssembleResponse
+	err := c.post(ctx, "/v1/assemble", &server.AssembleRequest{Src: src}, &out)
+	return out, err
+}
+
+// Health fetches /v1/healthz. A draining server answers 503 but still with
+// a body, surfaced here as (*APIError, zero Health).
+func (c *Client) Health(ctx context.Context) (server.Health, error) {
+	var out server.Health
+	err := c.get(ctx, "/v1/healthz", &out)
+	return out, err
+}
+
+// BuildInfo fetches /v1/buildinfo.
+func (c *Client) BuildInfo(ctx context.Context) (server.BuildInfo, error) {
+	var out server.BuildInfo
+	err := c.get(ctx, "/v1/buildinfo", &out)
+	return out, err
+}
+
+// NewRequestID mints a random idempotency key ("cli-<16 hex>").
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("cli-%d", time.Now().UnixNano())
+	}
+	return fmt.Sprintf("cli-%016x", binary.BigEndian.Uint64(b[:]))
+}

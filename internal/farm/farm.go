@@ -36,6 +36,7 @@ import (
 	"tangled/internal/aob"
 	"tangled/internal/asm"
 	"tangled/internal/cpu"
+	"tangled/internal/obs"
 	"tangled/internal/pipeline"
 )
 
@@ -89,6 +90,17 @@ type Job struct {
 	// Timeout, when positive, bounds the job's wall-clock time on top of
 	// the batch context.
 	Timeout time.Duration
+	// Ctx, when non-nil, additionally bounds this job alone: the job is
+	// cancelled when either the batch context or Ctx is done, and Ctx's
+	// deadline (if any) is honored as a real deadline (the job fails with
+	// context.DeadlineExceeded, not Canceled). This is how a serving layer
+	// propagates per-request deadlines and client disconnects into a batch
+	// that coalesces many requests.
+	Ctx context.Context
+	// TraceTag, when non-empty, is stamped into the Req field of every
+	// cycle-trace event this job appends to the engine's shared trace ring
+	// (see obs.TagTrace), correlating interleaved rows back to requests.
+	TraceTag string
 
 	// Inspect, when non-nil, is called with the machine after the run
 	// completes (successfully or not), before the machine returns to the
@@ -273,6 +285,11 @@ func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters, o
 		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
 		defer cancel()
 	}
+	if j.Ctx != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = joinContext(ctx, j.Ctx)
+		defer cancel()
+	}
 	maxSteps := j.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
@@ -283,6 +300,30 @@ func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters, o
 		e.runFunctional(ctx, j, prog, maxSteps, &res, bc, o)
 	}
 	return res
+}
+
+// joinContext derives a context cancelled when either batch or job is done.
+// A deadline on job is re-applied as a deadline on the derived context so
+// expiry surfaces as context.DeadlineExceeded rather than Canceled.
+func joinContext(batch, job context.Context) (context.Context, context.CancelFunc) {
+	if d, ok := job.Deadline(); ok {
+		var cancel context.CancelFunc
+		batch, cancel = context.WithDeadline(batch, d)
+		ctx, cancel2 := context.WithCancel(batch)
+		// The deadline itself is covered by the WithDeadline clone above (so
+		// it surfaces as DeadlineExceeded); the AfterFunc only forwards
+		// early cancellation, else it would race the deadline timer and
+		// mislabel an expiry as Canceled.
+		stop := context.AfterFunc(job, func() {
+			if !errors.Is(job.Err(), context.DeadlineExceeded) {
+				cancel2()
+			}
+		})
+		return ctx, func() { stop(); cancel2(); cancel() }
+	}
+	ctx, cancel := context.WithCancel(batch)
+	stop := context.AfterFunc(job, cancel)
+	return ctx, func() { stop(); cancel() }
 }
 
 func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, maxSteps uint64, res *Result, bc *batchCounters, o *Obs) {
@@ -358,7 +399,11 @@ func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, ma
 	p.SetOutput(&out)
 	if o != nil {
 		p.SetMetrics(o.Pipe)
-		p.SetTraceRing(o.Trace)
+		if j.TraceTag != "" && o.Trace != nil {
+			p.SetTraceSink(obs.TagTrace(o.Trace, j.TraceTag))
+		} else {
+			p.SetTraceRing(o.Trace)
+		}
 		p.Machine().AttachMetrics(o.CPU)
 	}
 	if err := p.Load(prog); err != nil {

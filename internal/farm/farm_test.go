@@ -13,6 +13,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/cpu"
 	"tangled/internal/farm"
+	"tangled/internal/farm/farmtest"
 	"tangled/internal/pipeline"
 )
 
@@ -92,7 +93,7 @@ func TestRunOrderingAndModes(t *testing.T) {
 func TestWorkerCountInvariance(t *testing.T) {
 	var jobs []farm.Job
 	for i := 0; i < 24; i++ {
-		src := generate(0xFA12 + int64(i))
+		src := farmtest.Generate(0xFA12 + int64(i))
 		mode := farm.Functional
 		var pcfg pipeline.Config
 		if i%3 == 1 {
@@ -342,5 +343,37 @@ func TestSharedProgramAcrossJobs(t *testing.T) {
 		if res.Err != nil || res.Output != countdownWant(4) {
 			t.Fatalf("%s: %+v", res.Name, res)
 		}
+	}
+}
+
+// TestPerJobContext: Job.Ctx bounds one job without poisoning the batch —
+// the serving layer's per-request deadline/disconnect propagation path.
+func TestPerJobContext(t *testing.T) {
+	// A program that never halts within the budget: a tight infinite loop.
+	spin := "lex $1,1\nL:\nbrt $1,L\n"
+	fine := "lex $1,7\nlex $0,0\nsys\n"
+
+	expired, cancelExpired := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancelExpired()
+	cancelled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+
+	jobs := []farm.Job{
+		{Name: "deadline", Src: spin, Ways: diffWays, Ctx: expired},
+		{Name: "cancelled", Src: spin, Ways: diffWays, Ctx: cancelled},
+		{Name: "fine", Src: fine, Ways: diffWays},
+	}
+	results, stats := farm.New(2).Run(context.Background(), jobs)
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Errorf("deadline job: err = %v, want DeadlineExceeded", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("cancelled job: err = %v, want Canceled", results[1].Err)
+	}
+	if results[2].Err != nil || results[2].Regs[1] != 7 {
+		t.Errorf("fine job poisoned by neighbors: err=%v regs=%v", results[2].Err, results[2].Regs)
+	}
+	if stats.Errors != 2 {
+		t.Errorf("stats.Errors = %d, want 2", stats.Errors)
 	}
 }

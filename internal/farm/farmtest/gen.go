@@ -1,0 +1,200 @@
+// Package farmtest generates the shared random-program corpus used by the
+// differential test harnesses: seeded, well-behaved Tangled/Qat assembly
+// whose execution is identical on every machine model, every farm
+// configuration, and (via internal/server) over HTTP. Simulator production
+// code must not import it; it lives outside _test files only so several
+// packages' tests — and the qatclient load generator, which replays the
+// same corpus against a live server — can share one corpus, with any
+// divergence traceable to a single seed.
+package farmtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Programs is the corpus size the differential harnesses iterate; the
+// acceptance floor for the harness is 200.
+const Programs = 200
+
+// Ways keeps the Qat register file small (64 channels) so the corpus runs
+// in well under a second while still exercising every vector code path (the
+// word-packing logic is ways-independent above and below 6 ways).
+const Ways = 6
+
+// Budget bounds each run; generated programs retire far fewer instructions,
+// so hitting it indicates a generator bug.
+const Budget = 2_000_000
+
+// Seed maps corpus index i to its generator seed, so every harness runs the
+// byte-identical program set.
+func Seed(i int) int64 { return 0xDE17 + int64(i) }
+
+// progGen emits random but well-behaved Tangled/Qat assembly: every program
+// halts (branches are forward or strictly bounded loops), stores land in
+// high memory (>= 0x7F00) so code is never self-modified, and sys is only
+// issued as print services or the final halt.
+type progGen struct {
+	r      *rand.Rand
+	b      strings.Builder
+	labels int
+}
+
+func (g *progGen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *progGen) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+// reg returns a random register number in [1, max]; $0 is reserved for the
+// sys service selector so random ALU traffic cannot fake a halt.
+func (g *progGen) reg(max int) int { return 1 + g.r.Intn(max) }
+
+func (g *progGen) qreg() int { return g.r.Intn(12) }
+
+// plain emits one instruction with no control flow, using registers up to
+// maxReg (loop harnesses shrink the range to protect their counters).
+func (g *progGen) plain(maxReg int) {
+	switch g.r.Intn(20) {
+	case 0:
+		g.emit("add $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 1:
+		g.emit("and $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 2:
+		g.emit("or $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 3:
+		g.emit("xor $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 4:
+		g.emit("mul $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 5:
+		g.emit("slt $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 6:
+		g.emit("copy $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 7:
+		g.emit("shift $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 8:
+		g.emit("not $%d", g.reg(maxReg))
+		g.emit("neg $%d", g.reg(maxReg))
+	case 9:
+		g.emit("lex $%d,%d", g.reg(maxReg), g.r.Intn(256)-128)
+	case 10:
+		g.emit("lhi $%d,%d", g.reg(maxReg), g.r.Intn(128))
+	case 11:
+		g.emit("load $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 12:
+		// Pin the address register's high byte to 0x7F first: stores stay
+		// in [0x7F00, 0x7FFF], far above any generated program image, so
+		// code is never modified behind the pipeline's back.
+		s := g.reg(maxReg)
+		g.emit("lhi $%d,0x7F", s)
+		g.emit("store $%d,$%d", g.reg(maxReg), s)
+	case 13:
+		g.emit("float $%d", g.reg(maxReg))
+		g.emit("addf $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+	case 14:
+		g.emit("mulf $%d,$%d", g.reg(maxReg), g.reg(maxReg))
+		g.emit("int $%d", g.reg(maxReg))
+	case 15:
+		switch g.r.Intn(5) {
+		case 0:
+			g.emit("zero @%d", g.qreg())
+		case 1:
+			g.emit("one @%d", g.qreg())
+		case 2:
+			g.emit("not @%d", g.qreg())
+		case 3:
+			g.emit("had @%d,%d", g.qreg(), g.r.Intn(Ways))
+		case 4:
+			g.emit("swap @%d,@%d", g.qreg(), g.qreg())
+		}
+	case 16:
+		switch g.r.Intn(3) {
+		case 0:
+			g.emit("and @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		case 1:
+			g.emit("or @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		case 2:
+			g.emit("xor @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		}
+	case 17:
+		switch g.r.Intn(3) {
+		case 0:
+			g.emit("cnot @%d,@%d", g.qreg(), g.qreg())
+		case 1:
+			g.emit("ccnot @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		case 2:
+			g.emit("cswap @%d,@%d,@%d", g.qreg(), g.qreg(), g.qreg())
+		}
+	case 18:
+		switch g.r.Intn(3) {
+		case 0:
+			g.emit("meas $%d,@%d", g.reg(maxReg), g.qreg())
+		case 1:
+			g.emit("next $%d,@%d", g.reg(maxReg), g.qreg())
+		case 2:
+			g.emit("pop $%d,@%d", g.reg(maxReg), g.qreg())
+		}
+	case 19:
+		// Print traffic exercises the sys output path on every model.
+		g.emit("lex $0,1")
+		g.emit("sys")
+	}
+}
+
+// branchBlock emits a data-dependent forward branch over a short block.
+func (g *progGen) branchBlock() {
+	lbl := g.label()
+	op := "brt"
+	if g.r.Intn(2) == 0 {
+		op = "brf"
+	}
+	g.emit("%s $%d,%s", op, g.reg(9), lbl)
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.plain(9)
+	}
+	g.emit("%s:", lbl)
+}
+
+// loopBlock emits a strictly bounded countdown loop: $9 counts down via the
+// -1 in $8; the body may only touch $1..$7.
+func (g *progGen) loopBlock() {
+	lbl := g.label()
+	g.emit("lex $8,-1")
+	g.emit("lex $9,%d", 2+g.r.Intn(4))
+	g.emit("%s:", lbl)
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.plain(7)
+	}
+	g.emit("add $9,$8")
+	g.emit("brt $9,%s", lbl)
+}
+
+// Generate returns one complete random program for seed.
+func Generate(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	for d := 1; d <= 7; d++ {
+		g.emit("lex $%d,%d", d, g.r.Intn(256)-128)
+	}
+	for i, n := 0, 2+g.r.Intn(3); i < n; i++ {
+		g.emit("had @%d,%d", g.qreg(), g.r.Intn(Ways))
+	}
+	loops := 0
+	for i, n := 0, 25+g.r.Intn(35); i < n; i++ {
+		switch {
+		case g.r.Intn(8) == 0:
+			g.branchBlock()
+		case loops < 2 && g.r.Intn(12) == 0:
+			loops++
+			g.loopBlock()
+		default:
+			g.plain(9)
+		}
+	}
+	g.emit("lex $0,0")
+	g.emit("sys")
+	return g.b.String()
+}

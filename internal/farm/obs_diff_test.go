@@ -24,6 +24,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/cpu"
 	"tangled/internal/farm"
+	"tangled/internal/farm/farmtest"
 	"tangled/internal/isa"
 	"tangled/internal/obs"
 	"tangled/internal/pipeline"
@@ -148,7 +149,7 @@ func TestMetricsConsistencyAcrossModes(t *testing.T) {
 	var wantCycles, wantRetired uint64
 	var jobsRun uint64
 	for i := 0; i < obsDiffPrograms; i++ {
-		src := generate(0xDE17 + int64(i)) // same corpus seeds as diff_test.go
+		src := farmtest.Generate(farmtest.Seed(i)) // same corpus as diff_test.go
 		prog, err := asm.Assemble(src)
 		if err != nil {
 			t.Fatalf("program %d does not assemble: %v\n%s", i, err, src)

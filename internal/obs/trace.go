@@ -25,7 +25,7 @@ const TraceSchema = "tangled-cycle-trace"
 
 // TraceSchemaVersion is bumped whenever a TraceEvent field changes meaning;
 // docs/TRACE.md records the history.
-const TraceSchemaVersion = 1
+const TraceSchemaVersion = 2
 
 // TraceEvent is one row of a cycle trace. Pipelined runs emit one event per
 // clock with the start-of-cycle stage occupancy and the hazard causes the
@@ -47,6 +47,10 @@ type TraceEvent struct {
 	// causes in fixed order: load-use, raw, ex-busy, fetch, flush, halt.
 	// Empty for a cycle that just advanced.
 	Event string `json:"event,omitempty"`
+	// Req is the serving-layer request ID of the job that produced this
+	// event (schema version 2). Empty outside a serving context; in a ring
+	// shared by concurrent jobs it is what separates the interleaved rows.
+	Req string `json:"req,omitempty"`
 }
 
 // normalize folds semantically empty values to their canonical form so
@@ -55,6 +59,33 @@ func (e *TraceEvent) normalize() {
 	if len(e.Stages) == 0 {
 		e.Stages = nil
 	}
+}
+
+// TraceSink receives trace events; *TraceRing is the canonical
+// implementation. Wrappers like TagTrace decorate events on the way in.
+type TraceSink interface {
+	Append(TraceEvent)
+}
+
+// tagSink stamps a request ID into every event before forwarding.
+type tagSink struct {
+	sink TraceSink
+	req  string
+}
+
+func (t tagSink) Append(e TraceEvent) {
+	e.Req = t.req
+	t.sink.Append(e)
+}
+
+// TagTrace returns a sink that stamps req into the Req field of every event
+// it forwards to s — how a serving layer correlates the interleaved rows of
+// a shared ring back to individual requests. A nil s returns nil.
+func TagTrace(s TraceSink, req string) TraceSink {
+	if s == nil {
+		return nil
+	}
+	return tagSink{sink: s, req: req}
 }
 
 // TraceRing is a bounded, goroutine-safe event buffer: appends beyond the

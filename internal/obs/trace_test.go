@@ -63,6 +63,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 		{Cycle: 2, PC: 1, Stages: []string{"add $1,$2", "lex $1,3", "--", "--"}, Event: "load-use"},
 		{Cycle: 3, PC: 4, Inst: "sys", Event: "halt"},
 		{Cycle: 4, PC: 0xFFFF},
+		{Cycle: 5, PC: 7, Inst: "sys", Event: "retire", Req: "req-42"},
 	}
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, events); err != nil {
@@ -71,7 +72,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if got := strings.Count(buf.String(), "\n"); got != len(events)+1 {
 		t.Fatalf("wrote %d lines, want %d (header + events)", got, len(events)+1)
 	}
-	if !strings.HasPrefix(buf.String(), `{"schema":"tangled-cycle-trace","version":1}`) {
+	if !strings.HasPrefix(buf.String(), fmt.Sprintf(`{"schema":"tangled-cycle-trace","version":%d}`, TraceSchemaVersion)) {
 		t.Fatalf("missing header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
 	}
 	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
@@ -131,5 +132,24 @@ func TestTraceRingConcurrentAppend(t *testing.T) {
 	wg.Wait()
 	if r.Len() != 64 || r.Dropped() != 4*500-64 {
 		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestTagTrace(t *testing.T) {
+	r := NewTraceRing(8)
+	tagged := TagTrace(r, "req-7")
+	tagged.Append(TraceEvent{Cycle: 1, PC: 2})
+	tagged.Append(TraceEvent{Cycle: 2, PC: 3, Req: "overwritten"})
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	for i, e := range evs {
+		if e.Req != "req-7" {
+			t.Errorf("event %d: Req = %q, want %q", i, e.Req, "req-7")
+		}
+	}
+	if TagTrace(nil, "x") != nil {
+		t.Fatal("TagTrace(nil) must be nil so detached tracing stays free")
 	}
 }

@@ -155,7 +155,7 @@ type Pipeline struct {
 	// Observability attachments (see metrics.go); nil when disabled.
 	met           *Metrics
 	stageLabelIdx []int
-	ring          *obs.TraceRing
+	ring          obs.TraceSink
 
 	Stats Stats
 }

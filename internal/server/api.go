@@ -1,0 +1,241 @@
+package server
+
+// Wire types of the JSON/NDJSON serving API, shared with internal/client.
+// The schema is versioned the same way the cycle-trace stream is: batch
+// responses open with a header record naming ResultsSchema and
+// ResultsSchemaVersion, and both sides reject a mismatch.
+
+import (
+	"fmt"
+
+	"tangled/internal/aob"
+	"tangled/internal/farm"
+	"tangled/internal/pipeline"
+	"tangled/internal/qasm"
+)
+
+// ResultsSchema names the NDJSON result stream written by POST /v1/batch.
+const ResultsSchema = "tangled-run-results"
+
+// ResultsSchemaVersion is bumped whenever a RunResult field changes
+// meaning; README.md ("Serving") records the schema.
+const ResultsSchemaVersion = 1
+
+// RunRequest is one program submission: the body of POST /v1/run and one
+// element of BatchRequest.Programs. Exactly one of Src (Tangled/Qat
+// assembly) or Words (a pre-assembled word image, the hex-file form) must
+// be set.
+type RunRequest struct {
+	// ID is the caller's idempotency key for this program; the server
+	// generates one when empty. It comes back in RunResult.ID, in the
+	// X-Request-ID response header, and as the req field of cycle-trace
+	// rows the run contributes.
+	ID string `json:"id,omitempty"`
+
+	// Src is Tangled/Qat assembly source.
+	Src string `json:"src,omitempty"`
+	// Words is a pre-assembled word image loaded at address 0 — the
+	// word-level submission path, equivalent to a $readmemh hex file.
+	Words []uint16 `json:"words,omitempty"`
+
+	// Mode is "functional" (default) or "pipelined".
+	Mode string `json:"mode,omitempty"`
+	// Ways is the Qat entanglement degree; 0 means the full 16-way
+	// hardware.
+	Ways int `json:"ways,omitempty"`
+	// ConstRegs selects the Section 5 constant-register Qat variant.
+	ConstRegs bool `json:"const_regs,omitempty"`
+	// Stages picks the pipeline organization for pipelined runs (4 or 5;
+	// 0 means 5).
+	Stages int `json:"stages,omitempty"`
+
+	// MaxSteps bounds retired instructions (functional) or cycles
+	// (pipelined); 0 means the server's default budget. The server caps it
+	// at its configured ceiling either way.
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// TimeoutMs bounds the program's wall-clock execution in milliseconds;
+	// it is combined with the request context's own deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// ID labels the batch; per-program IDs are derived as "<ID>/<index>"
+	// for programs that do not carry their own.
+	ID string `json:"id,omitempty"`
+	// Programs are executed as one farm batch; results stream back in
+	// this order.
+	Programs []RunRequest `json:"programs"`
+}
+
+// ResultsHeader is the first NDJSON line of a batch response.
+type ResultsHeader struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Count   int    `json:"count"`
+}
+
+// RunResult is one program outcome: the body of a /v1/run response and one
+// NDJSON line of a /v1/batch response.
+type RunResult struct {
+	// ID echoes (or supplies) the program's request ID.
+	ID string `json:"id,omitempty"`
+	// Index is the program's position in its batch (0 for single runs).
+	Index int `json:"index"`
+
+	// Regs is the final Tangled register file.
+	Regs [16]uint16 `json:"regs"`
+	// Output is everything the program printed through sys.
+	Output string `json:"output,omitempty"`
+	// Insts is the retired instruction count.
+	Insts uint64 `json:"insts"`
+	// Cycles and Stalls carry the pipeline accounting of pipelined runs.
+	Cycles uint64 `json:"cycles,omitempty"`
+	Stalls uint64 `json:"stalls,omitempty"`
+
+	// Error is the program's failure, empty on success. Code carries the
+	// HTTP-style status of this record: 0/200 ok, 400 bad program, 499
+	// cancelled, 504 deadline exceeded, 500 other execution failure. For
+	// single runs the HTTP response status matches Code.
+	Error string `json:"error,omitempty"`
+	Code  int    `json:"code,omitempty"`
+}
+
+// LineError is one assembler diagnostic in an ErrorResponse.
+type LineError struct {
+	Line int    `json:"line"`
+	Msg  string `json:"msg"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Lines carries assembler diagnostics with 1-based source lines when
+	// the failure was an assembly error (HTTP 400).
+	Lines []LineError `json:"lines,omitempty"`
+	// RetryAfterMs hints when to retry a 429/503; the Retry-After header
+	// carries the same figure in whole seconds.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	// Status is "ok", or "draining" once shutdown has begun (the HTTP
+	// status is 503 then, so load balancers stop routing here).
+	Status string `json:"status"`
+	// QueueDepth is the number of admitted jobs not yet finished and
+	// QueueLimit the admission bound that produces 429s.
+	QueueDepth int64 `json:"queue_depth"`
+	QueueLimit int64 `json:"queue_limit"`
+	// InFlight is the number of HTTP requests currently being served.
+	InFlight int64 `json:"in_flight"`
+	// Workers is the farm's concurrency bound.
+	Workers int `json:"workers"`
+	// JobsDone counts jobs completed over the server's lifetime.
+	JobsDone uint64 `json:"jobs_done"`
+}
+
+// BuildInfo is the body of GET /v1/buildinfo.
+type BuildInfo struct {
+	GoVersion     string `json:"go_version"`
+	Module        string `json:"module,omitempty"`
+	Revision      string `json:"revision,omitempty"`
+	NumCPU        int    `json:"num_cpu"`
+	Workers       int    `json:"workers"`
+	MaxWays       int    `json:"max_ways"`
+	MaxSteps      uint64 `json:"max_steps"`
+	ResultsSchema string `json:"results_schema"`
+	ResultsVer    int    `json:"results_version"`
+	TraceSchema   string `json:"trace_schema"`
+	TraceVer      int    `json:"trace_version"`
+}
+
+// AssembleRequest is the body of POST /v1/assemble.
+type AssembleRequest struct {
+	Src string `json:"src"`
+}
+
+// AssembleResponse is the success body of POST /v1/assemble.
+type AssembleResponse struct {
+	// Words is the assembled image, loadable back through
+	// RunRequest.Words.
+	Words []uint16 `json:"words"`
+	// Symbols maps labels to word addresses.
+	Symbols map[string]uint16 `json:"symbols,omitempty"`
+}
+
+// validate checks a RunRequest and resolves it into a farm job skeleton
+// (program assembly happens separately so assembler diagnostics can surface
+// with line info).
+func (r *RunRequest) validate() error {
+	if r.Src == "" && len(r.Words) == 0 {
+		return fmt.Errorf("program %q has neither src nor words", r.ID)
+	}
+	if r.Src != "" && len(r.Words) > 0 {
+		return fmt.Errorf("program %q has both src and words", r.ID)
+	}
+	switch r.Mode {
+	case "", "functional", "pipelined":
+	default:
+		return fmt.Errorf("program %q: mode %q is not \"functional\" or \"pipelined\"", r.ID, r.Mode)
+	}
+	if r.Ways < 0 || r.Ways > aob.MaxWays {
+		return fmt.Errorf("program %q: ways %d out of range [0,%d]", r.ID, r.Ways, aob.MaxWays)
+	}
+	if r.Stages != 0 && r.Stages != 4 && r.Stages != 5 {
+		return fmt.Errorf("program %q: stages %d is not 4 or 5", r.ID, r.Stages)
+	}
+	if r.Stages != 0 && r.Mode != "pipelined" {
+		return fmt.Errorf("program %q: stages applies only to pipelined runs", r.ID)
+	}
+	if r.TimeoutMs < 0 {
+		return fmt.Errorf("program %q: negative timeout_ms", r.ID)
+	}
+	return nil
+}
+
+// pipelineConfig builds the pipeline organization a pipelined RunRequest
+// asked for, on the paper's default timing.
+func (r *RunRequest) pipelineConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	if r.Stages != 0 {
+		cfg.Stages = r.Stages
+	}
+	if r.Ways != 0 {
+		cfg.Ways = r.Ways
+	}
+	cfg.ConstantRegs = r.ConstRegs
+	return cfg
+}
+
+// maxSteps resolves the request's budget against the server's ceiling.
+func (r *RunRequest) maxSteps(cap uint64) uint64 {
+	if cap == 0 {
+		cap = qasm.MaxSteps
+	}
+	if r.MaxSteps == 0 || r.MaxSteps > cap {
+		return cap
+	}
+	return r.MaxSteps
+}
+
+// resultFrom converts one farm result into its wire form. Execution errors
+// are classified into the record's Code.
+func resultFrom(fr *farm.Result, id string, index int) RunResult {
+	out := RunResult{
+		ID:     id,
+		Index:  index,
+		Regs:   fr.Regs,
+		Output: fr.Output,
+		Insts:  fr.Insts,
+	}
+	if fr.Pipe != nil {
+		out.Cycles = fr.Pipe.Cycles
+		out.Stalls = fr.Pipe.TotalStalls()
+	}
+	if fr.Err != nil {
+		out.Error = fr.Err.Error()
+		out.Code = codeForRunError(fr.Err)
+	}
+	return out
+}

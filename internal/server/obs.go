@@ -1,0 +1,96 @@
+package server
+
+// Serving-layer observability: request counters by route and by status,
+// queue-depth/in-flight gauges, end-to-end latency histograms, and the
+// coalescer's batch-size distribution — layered on the same registry as the
+// farm/cpu/qat/pipeline counter sets, so one /metrics scrape shows the
+// whole stack from HTTP ingress down to per-opcode retire counts. As
+// everywhere else, a nil registry hands out nil handles and the serving hot
+// path pays one nil check.
+
+import (
+	"strconv"
+
+	"tangled/internal/obs"
+)
+
+// routes label the per-route request counter; "other" collects 404 traffic.
+var routeLabels = []string{"run", "batch", "assemble", "healthz", "buildinfo", "other"}
+
+const (
+	routeRun = iota
+	routeBatch
+	routeAssemble
+	routeHealthz
+	routeBuildinfo
+	routeOther
+)
+
+// statusLabels are the statuses the server can produce; unexpected codes
+// fold onto their class ("2xx".."5xx" would lose 429 vs 400, so the known
+// set is explicit).
+var statusLabels = []string{"200", "400", "404", "405", "413", "429", "499", "500", "503", "504"}
+
+// requestLatencyBuckets span HTTP round-trips from sub-millisecond cached
+// replies to multi-second deep batches.
+var requestLatencyBuckets = []float64{
+	1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30,
+}
+
+// batchSizeBuckets span the coalescer's output: 1 means the window closed
+// with a lone request, larger values are amortization wins.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// serverObs is the serving-layer metric set; nil when metrics are off.
+type serverObs struct {
+	requests  *obs.CounterVec // by route
+	responses *obs.CounterVec // by status
+
+	queueDepth *obs.Gauge // admitted jobs not yet finished
+	inFlight   *obs.Gauge // HTTP requests currently being served
+
+	latency   *obs.Histogram // end-to-end request seconds
+	batchSize *obs.Histogram // jobs per coalesced farm batch
+
+	rejected429 *obs.Counter // admissions refused for a full queue
+	idempHits   *obs.Counter // /v1/run responses replayed from the ID cache
+}
+
+// newServerObs registers the serving metric set on r. A nil registry yields
+// a set of nil handles, which every obs method accepts as a no-op — the
+// same off-by-default contract as the machine-level instrumentation.
+func newServerObs(r *obs.Registry) *serverObs {
+	if r == nil {
+		return &serverObs{}
+	}
+	return &serverObs{
+		requests: r.CounterVec("server_requests_total",
+			"HTTP requests received, by route", "route", routeLabels),
+		responses: r.CounterVec("server_responses_total",
+			"HTTP responses sent, by status", "status", statusLabels),
+		queueDepth: r.Gauge("server_queue_depth",
+			"admitted jobs not yet finished (the admission-control gauge)"),
+		inFlight: r.Gauge("server_inflight_requests",
+			"HTTP requests currently being served"),
+		latency: r.Histogram("server_request_seconds",
+			"end-to-end request latency", requestLatencyBuckets),
+		batchSize: r.Histogram("server_coalesced_batch_jobs",
+			"jobs per farm batch formed by the dynamic coalescer", batchSizeBuckets),
+		rejected429: r.Counter("server_admission_rejects_total",
+			"requests refused with 429 because the queue was full"),
+		idempHits: r.Counter("server_idempotent_replays_total",
+			"/v1/run responses replayed from the request-ID cache"),
+	}
+}
+
+// observeStatus counts a response status; unknown codes land on "500".
+func (so *serverObs) observeStatus(code int) {
+	s := strconv.Itoa(code)
+	for i, l := range statusLabels {
+		if l == s {
+			so.responses.At(i).Inc()
+			return
+		}
+	}
+	so.responses.At(7).Inc() // "500"
+}

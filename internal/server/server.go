@@ -1,0 +1,696 @@
+// Package server is the Qat-as-a-service layer: a stdlib-only net/http
+// JSON/NDJSON API that accepts Tangled assembly or pre-assembled word
+// images, executes them on a shared internal/farm fleet, and streams
+// per-program results back. It is the host/accelerator boundary of the
+// paper made remotely callable — a classical front-end dispatching programs
+// to the quantum-inspired execution unit over the network — with the
+// serving machinery a production deployment needs:
+//
+//   - admission control: a bounded job queue; requests beyond it are
+//     refused with 429 and a Retry-After hint instead of queuing without
+//     bound (backpressure, not collapse);
+//   - dynamic batching: single /v1/run submissions are coalesced into farm
+//     batches under a configurable latency window (coalesce.go);
+//   - deadline propagation: per-request deadlines and client disconnects
+//     ride context into farm.Job.Ctx and down to cpu/pipeline RunContext;
+//   - graceful drain: Drain stops intake (healthz flips to 503 so load
+//     balancers steer away), finishes every admitted job, and only then
+//     returns so the operator can flush metrics and traces;
+//   - idempotent resubmission: /v1/run responses are cached by request ID,
+//     so a client retrying a lost response replays the original result
+//     instead of re-executing (execution is deterministic, so this is an
+//     optimization, not a correctness requirement);
+//   - observability: request/status counters, queue and in-flight gauges,
+//     latency histograms (obs.go), and the request ID stamped into every
+//     cycle-trace row the run contributes (obs.TagTrace).
+//
+// Routes: POST /v1/run, /v1/batch, /v1/assemble; GET /v1/healthz,
+// /v1/buildinfo; plus the obs debug face (/metrics, /debug/...) when a
+// registry is attached. README.md ("Serving") documents the wire schema.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tangled/internal/aob"
+	"tangled/internal/asm"
+	"tangled/internal/farm"
+	"tangled/internal/obs"
+	"tangled/internal/qasm"
+)
+
+// StatusClientClosedRequest is the 499 pseudo-status (from the nginx
+// convention) recorded when a request's client went away before its result
+// was ready.
+const StatusClientClosedRequest = 499
+
+// Config parameterizes a Server; the zero value serves with the defaults
+// noted per field.
+type Config struct {
+	// Workers bounds the farm's concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueLimit bounds admitted jobs (queued + running) across all
+	// requests; beyond it submissions get 429. <= 0 means 256.
+	QueueLimit int
+	// BatchWindow is the coalescer's latency window for /v1/run
+	// submissions; <= 0 means 2ms.
+	BatchWindow time.Duration
+	// BatchMax caps a coalesced batch; <= 0 means 64.
+	BatchMax int
+	// MaxBodyBytes bounds request bodies; <= 0 means 8 MiB.
+	MaxBodyBytes int64
+	// MaxSteps caps client-supplied step budgets; 0 means qasm.MaxSteps.
+	MaxSteps uint64
+	// IdempotencyCap bounds the /v1/run response replay cache; <= 0 means
+	// 1024 entries, < 0 after normalization disables it.
+	IdempotencyCap int
+
+	// Registry, when non-nil, receives the serving metric set and the farm
+	// fleet's counters, and mounts the obs debug face on the server's mux.
+	Registry *obs.Registry
+	// Trace, when non-nil, receives the cycle trace of every pipelined
+	// job, each row stamped with its request ID.
+	Trace *obs.TraceRing
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 256
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = qasm.MaxSteps
+	}
+	if c.IdempotencyCap == 0 {
+		c.IdempotencyCap = 1024
+	}
+	return c
+}
+
+// Server executes Tangled/Qat programs over HTTP on a shared farm fleet.
+// Construct with New, serve with Start (or mount Handler on your own
+// listener), stop with Drain.
+type Server struct {
+	cfg    Config
+	engine *farm.Engine
+	obs    *serverObs
+	mux    *http.ServeMux
+
+	queue    atomic.Int64 // admitted jobs not yet finished
+	jobsDone atomic.Uint64
+	draining atomic.Bool
+	reqSeq   atomic.Uint64
+	reqSalt  string
+
+	coal  *coalescer
+	idemp *idempCache
+
+	httpSrv *http.Server
+	ln      net.Listener
+	started atomic.Bool
+	serveWG sync.WaitGroup
+}
+
+// New builds a Server over a fresh farm engine.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	engine := farm.New(cfg.Workers)
+	so := newServerObs(cfg.Registry)
+	if cfg.Registry != nil {
+		fo := farm.NewObs(cfg.Registry)
+		fo.Trace = cfg.Trace
+		engine.SetObs(fo)
+	}
+	s := &Server{
+		cfg:     cfg,
+		engine:  engine,
+		obs:     so,
+		idemp:   newIdempCache(cfg.IdempotencyCap),
+		reqSalt: randomSalt(),
+	}
+	s.coal = newCoalescer(engine, cfg.BatchWindow, cfg.BatchMax, so)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.route(routeRun, http.MethodPost, s.handleRun))
+	mux.HandleFunc("/v1/batch", s.route(routeBatch, http.MethodPost, s.handleBatch))
+	mux.HandleFunc("/v1/assemble", s.route(routeAssemble, http.MethodPost, s.handleAssemble))
+	mux.HandleFunc("/v1/healthz", s.route(routeHealthz, http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/v1/buildinfo", s.route(routeBuildinfo, http.MethodGet, s.handleBuildinfo))
+	if cfg.Registry != nil {
+		mux.Handle("/metrics", obs.Handler(cfg.Registry))
+		mux.Handle("/debug/", obs.Handler(cfg.Registry))
+	}
+	mux.HandleFunc("/", s.route(routeOther, "", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: "no such route: " + r.URL.Path})
+	}))
+	s.mux = mux
+	return s
+}
+
+// Engine exposes the underlying farm (its Totals feed healthz and tests).
+func (s *Server) Engine() *farm.Engine { return s.engine }
+
+// Handler returns the server's HTTP handler, for callers that manage their
+// own listener (tests mount it on httptest servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr and serves in a background goroutine, returning the
+// bound address. Tests and CLIs that must avoid port collisions pass
+// "127.0.0.1:0" and read the port back from the returned address — the one
+// shared helper every server-shaped test in this repository uses.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	if !s.started.CompareAndSwap(false, true) {
+		return nil, errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		s.httpSrv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// StartLocal is Start("127.0.0.1:0") returning the base URL — the test
+// helper that makes port collisions impossible.
+func (s *Server) StartLocal() (string, error) {
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	return "http://" + addr.String(), nil
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops the server: new work is refused with 503 (and
+// healthz flips to draining so load balancers steer away), every admitted
+// job runs to completion and delivers its response, and the listener shuts
+// down. ctx bounds the wait; on expiry the remaining connections are closed
+// hard and ctx.Err() is returned. Safe to call on a server that was never
+// started (it just stops the coalescer).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		// Shutdown stops accepting and waits for in-flight handlers —
+		// each of which is waiting on its jobs' results — so admitted work
+		// finishes before this returns.
+		err = s.httpSrv.Shutdown(ctx)
+		if err != nil {
+			s.httpSrv.Close()
+		}
+		s.serveWG.Wait()
+	}
+	s.coal.stop()
+	return err
+}
+
+// Close shuts the server down immediately without waiting for in-flight
+// work (tests; production uses Drain).
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+		s.serveWG.Wait()
+	}
+	s.coal.stop()
+	return nil
+}
+
+// route wraps a handler with the cross-cutting serving concerns: method
+// check, body bound, request counting, in-flight gauge, latency histogram
+// and status accounting.
+func (s *Server) route(ri int, method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.obs.requests.At(ri).Inc()
+		s.obs.inFlight.Add(1)
+		defer s.obs.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		if method != "" && r.Method != method {
+			sw.Header().Set("Allow", method)
+			s.writeError(sw, http.StatusMethodNotAllowed,
+				ErrorResponse{Error: fmt.Sprintf("%s requires %s", r.URL.Path, method)})
+		} else {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			}
+			h(sw, r)
+		}
+		s.obs.observeStatus(sw.status())
+		s.obs.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusWriter records the status code for the response counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming works.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// admit reserves n queue slots, or reports the refusal the caller must turn
+// into a 429. The corresponding release is mandatory.
+func (s *Server) admit(n int) bool {
+	limit := int64(s.cfg.QueueLimit)
+	for {
+		cur := s.queue.Load()
+		if cur+int64(n) > limit {
+			s.obs.rejected429.Inc()
+			return false
+		}
+		if s.queue.CompareAndSwap(cur, cur+int64(n)) {
+			s.obs.queueDepth.Set(cur + int64(n))
+			return true
+		}
+	}
+}
+
+// release returns n queue slots and counts the finished jobs.
+func (s *Server) release(n int) {
+	s.obs.queueDepth.Set(s.queue.Add(-int64(n)))
+	s.jobsDone.Add(uint64(n))
+}
+
+// QueueDepth reports the admitted-but-unfinished job count.
+func (s *Server) QueueDepth() int64 { return s.queue.Load() }
+
+// QueueLimit reports the admission bound beyond which submissions get 429.
+func (s *Server) QueueLimit() int { return s.cfg.QueueLimit }
+
+// requestID returns the caller's ID for a program, falling back to the
+// header and then to a generated "req-<seq>-<salt>".
+func (s *Server) requestID(given string, r *http.Request) string {
+	if given != "" {
+		return given
+	}
+	if h := r.Header.Get("X-Request-ID"); h != "" {
+		return h
+	}
+	return fmt.Sprintf("req-%d-%s", s.reqSeq.Add(1), s.reqSalt)
+}
+
+// randomSalt distinguishes generated request IDs across server restarts,
+// so a replayed trace never aliases two different processes' requests.
+func randomSalt() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0"
+	}
+	return fmt.Sprintf("%08x", binary.BigEndian.Uint32(b[:]))
+}
+
+// ---- handlers ----
+
+// handleRun executes one program through the dynamic-batching coalescer and
+// returns its result as a single JSON object. Status: 200 (including runs
+// whose program failed at runtime — see RunResult.Code for per-record
+// classification of budget exhaustion), 400 for malformed bodies and
+// assembly errors (with line diagnostics), 429 when the queue is full, 503
+// while draining, 499/504 for cancelled/deadline-exceeded runs.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	id := s.requestID(req.ID, r)
+	w.Header().Set("X-Request-ID", id)
+	if cached, ok := s.idemp.get(id); ok {
+		s.obs.idempHits.Inc()
+		w.Header().Set("X-Idempotent-Replay", "true")
+		s.writeJSON(w, http.StatusOK, cached)
+		return
+	}
+	if s.draining.Load() {
+		s.writeUnavailable(w)
+		return
+	}
+	job, errResp := s.buildJob(&req, id, r.Context())
+	if errResp != nil {
+		s.writeError(w, http.StatusBadRequest, *errResp)
+		return
+	}
+	if !s.admit(1) {
+		s.write429(w)
+		return
+	}
+	defer s.release(1)
+	done, ok := s.coal.submit(job)
+	if !ok {
+		s.writeUnavailable(w)
+		return
+	}
+	fr := <-done
+	res := resultFrom(&fr, id, 0)
+	if res.Code >= 400 && res.Code != http.StatusInternalServerError {
+		// Deadline/cancel surface as the HTTP status for single runs.
+		s.writeJSON(w, res.Code, res)
+		return
+	}
+	s.idemp.put(id, res)
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// handleBatch executes a program list as farm batches and streams one
+// NDJSON result line per program, in input order, after a header line. The
+// whole batch is admitted (or 429ed) atomically; results stream as each
+// engine chunk completes, so a long batch delivers early lines while later
+// chunks still run.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Programs) == 0 {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "batch has no programs"})
+		return
+	}
+	if s.draining.Load() {
+		s.writeUnavailable(w)
+		return
+	}
+	batchID := s.requestID(req.ID, r)
+	w.Header().Set("X-Request-ID", batchID)
+
+	// Build every job up front so malformed programs fail the request
+	// before any execution: a batch is admitted whole or not at all.
+	ids := make([]string, len(req.Programs))
+	jobs := make([]farm.Job, len(req.Programs))
+	for i := range req.Programs {
+		p := &req.Programs[i]
+		ids[i] = p.ID
+		if ids[i] == "" {
+			ids[i] = fmt.Sprintf("%s/%d", batchID, i)
+		}
+		job, errResp := s.buildJob(p, ids[i], r.Context())
+		if errResp != nil {
+			errResp.Error = fmt.Sprintf("program %d: %s", i, errResp.Error)
+			s.writeError(w, http.StatusBadRequest, *errResp)
+			return
+		}
+		jobs[i] = job
+	}
+	if !s.admit(len(jobs)) {
+		s.write429(w)
+		return
+	}
+	defer s.release(len(jobs))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	enc.Encode(ResultsHeader{Schema: ResultsSchema, Version: ResultsSchemaVersion, Count: len(jobs)})
+	flusher, _ := w.(http.Flusher)
+
+	// Chunked execution: each chunk is one farm batch, results flush as
+	// soon as their chunk completes.
+	for off := 0; off < len(jobs); off += s.cfg.BatchMax {
+		end := off + s.cfg.BatchMax
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		chunk := jobs[off:end]
+		s.obs.batchSize.Observe(float64(len(chunk)))
+		results, _ := s.engine.Run(context.Background(), chunk)
+		for i := range results {
+			enc.Encode(resultFrom(&results[i], ids[off+i], off+i))
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleAssemble assembles source and returns the word image, or 400 with
+// per-line diagnostics.
+func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
+	var req AssembleRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Src == "" {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "empty src"})
+		return
+	}
+	prog, err := asm.Assemble(req.Src)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, assembleErrorResponse(err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, AssembleResponse{Words: prog.Words, Symbols: prog.Symbols})
+}
+
+// handleHealthz reports liveness and the admission picture; 503 while
+// draining so load balancers stop routing here before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:     "ok",
+		QueueDepth: s.queue.Load(),
+		QueueLimit: int64(s.cfg.QueueLimit),
+		InFlight:   s.obs.inFlight.Value(),
+		Workers:    s.engine.Workers(),
+		JobsDone:   s.jobsDone.Load(),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+// handleBuildinfo reports the build and the server's execution envelope.
+func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
+	info := BuildInfo{
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Workers:       s.engine.Workers(),
+		MaxWays:       aob.MaxWays,
+		MaxSteps:      s.cfg.MaxSteps,
+		ResultsSchema: ResultsSchema,
+		ResultsVer:    ResultsSchemaVersion,
+		TraceSchema:   obs.TraceSchema,
+		TraceVer:      obs.TraceSchemaVersion,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				info.Revision = kv.Value
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// ---- request plumbing ----
+
+// buildJob resolves one RunRequest into a farm job, assembling source here
+// so diagnostics surface as a 400 with line info instead of a failed job.
+func (s *Server) buildJob(req *RunRequest, id string, reqCtx context.Context) (farm.Job, *ErrorResponse) {
+	if err := req.validate(); err != nil {
+		return farm.Job{}, &ErrorResponse{Error: err.Error()}
+	}
+	var prog *asm.Program
+	if req.Src != "" {
+		p, err := asm.Assemble(req.Src)
+		if err != nil {
+			resp := assembleErrorResponse(err)
+			return farm.Job{}, &resp
+		}
+		prog = p
+	} else {
+		prog = &asm.Program{Words: append([]uint16(nil), req.Words...)}
+	}
+	job := farm.Job{
+		Name:     id,
+		Prog:     prog,
+		MaxSteps: req.maxSteps(s.cfg.MaxSteps),
+		Ctx:      reqCtx,
+		TraceTag: id,
+	}
+	if req.TimeoutMs > 0 {
+		job.Timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if req.Mode == "pipelined" {
+		job.Mode = farm.Pipelined
+		job.Pipeline = req.pipelineConfig()
+	} else {
+		job.Mode = farm.Functional
+		job.Ways = req.Ways
+		job.ConstantRegs = req.ConstRegs
+	}
+	return job, nil
+}
+
+// codeForRunError classifies an execution failure into a record code.
+func codeForRunError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// assembleErrorResponse flattens an assembler error into line diagnostics.
+func assembleErrorResponse(err error) ErrorResponse {
+	resp := ErrorResponse{Error: "assembly failed: " + err.Error()}
+	var list asm.ErrorList
+	if errors.As(err, &list) {
+		for _, e := range list {
+			resp.Lines = append(resp.Lines, LineError{Line: e.Line, Msg: e.Msg})
+		}
+	} else {
+		var one asm.Error
+		if errors.As(err, &one) {
+			resp.Lines = []LineError{{Line: one.Line, Msg: one.Msg}}
+		}
+	}
+	return resp
+}
+
+// decodeBody decodes a JSON body, writing the 400/413 on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				ErrorResponse{Error: fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit)})
+		} else {
+			s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		}
+		return false
+	}
+	// Tolerate (and require no more than) one JSON value.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "trailing data after JSON body"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, resp ErrorResponse) {
+	s.writeJSON(w, code, resp)
+}
+
+// write429 is the backpressure response: queue full, retry shortly.
+func (s *Server) write429(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:        fmt.Sprintf("admission queue full (%d jobs)", s.cfg.QueueLimit),
+		RetryAfterMs: 1000,
+	})
+}
+
+// writeUnavailable is the draining response.
+func (s *Server) writeUnavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error:        "server is draining",
+		RetryAfterMs: 1000,
+	})
+}
+
+// ---- idempotency cache ----
+
+// idempCache is a bounded FIFO map of completed /v1/run responses keyed by
+// request ID. Deterministic execution makes replays exact; the bound keeps
+// a chatty client from growing server memory.
+type idempCache struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]RunResult
+}
+
+func newIdempCache(capacity int) *idempCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &idempCache{cap: capacity, byID: make(map[string]RunResult)}
+}
+
+func (c *idempCache) get(id string) (RunResult, bool) {
+	if c == nil {
+		return RunResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.byID[id]
+	return r, ok
+}
+
+func (c *idempCache) put(id string, r RunResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byID[id]; ok {
+		return
+	}
+	if len(c.order) == c.cap {
+		delete(c.byID, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.byID[id] = r
+	c.order = append(c.order, id)
+}

@@ -4,12 +4,15 @@
 package tangled_test
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"tangled/internal/obs"
 )
@@ -303,5 +306,107 @@ func TestExperimentsToolRuns(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("experiments output missing %q", frag)
 		}
+	}
+}
+
+// TestQatServerClientEndToEnd drives the serving pair the way an operator
+// would: start qatserver on an ephemeral port (127.0.0.1:0 + -port-file, so
+// parallel test runs never collide), run a program and a load burst through
+// qatclient, then SIGTERM the server and check the graceful drain flushed
+// its observability artifacts.
+func TestQatServerClientEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	serverBin := buildTool(t, dir, "qatserver")
+	clientBin := buildTool(t, dir, "qatclient")
+
+	portFile := filepath.Join(dir, "port.txt")
+	metricsFile := filepath.Join(dir, "metrics.prom")
+	traceFile := filepath.Join(dir, "trace.jsonl")
+	srv := exec.Command(serverBin,
+		"-addr", "127.0.0.1:0", "-port-file", portFile,
+		"-metrics", metricsFile, "-trace", traceFile)
+	var srvLog strings.Builder
+	srv.Stderr = &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The port file appearing is the "listening" signal.
+	var addr string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote its port file\n%s", srvLog.String())
+	}
+	base := "http://" + addr
+
+	// One pipelined program through the run subcommand (stdin form).
+	out, stderr, err := runTool(t, clientBin,
+		"had @9,3\nlex $8,5\nnext $8,@9\ncopy $1,$8\nlex $0,0\nsys\n",
+		"-server", base, "-mode", "pipelined", "run", "-")
+	if err != nil {
+		t.Fatalf("qatclient run: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(out, `"insts"`) || strings.Contains(out, `"error"`) {
+		t.Fatalf("run output: %s", out)
+	}
+
+	// Health via the client.
+	out, stderr, err = runTool(t, clientBin, "", "-server", base, "health")
+	if err != nil || !strings.Contains(out, `"status": "ok"`) {
+		t.Fatalf("qatclient health: %v %s\n%s", err, out, stderr)
+	}
+
+	// A load burst, with the saturation phase, writing the bench report.
+	benchFile := filepath.Join(dir, "BENCH_server.json")
+	_, stderr, err = runTool(t, clientBin, "",
+		"-server", base, "-load", "40", "-concurrency", "8", "-saturate", "-out", benchFile)
+	if err != nil {
+		t.Fatalf("qatclient -load: %v\n%s", err, stderr)
+	}
+	bench, err := os.ReadFile(benchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"ok": 40`, `"failed": 0`, `"req_per_sec"`} {
+		if !strings.Contains(string(bench), frag) {
+			t.Fatalf("bench report missing %s:\n%s", frag, bench)
+		}
+	}
+
+	// Graceful drain: SIGTERM, clean exit, artifacts flushed.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("server exit after SIGTERM: %v\n%s", err, srvLog.String())
+	}
+	metrics, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatalf("metrics not flushed on drain: %v", err)
+	}
+	if !strings.Contains(string(metrics), "server_requests_total") {
+		t.Fatal("flushed metrics lack the serving counter set")
+	}
+	trace, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace not flushed on drain: %v", err)
+	}
+	header := strings.SplitN(string(trace), "\n", 2)[0]
+	want := fmt.Sprintf(`{"schema":%q,"version":%d}`, obs.TraceSchema, obs.TraceSchemaVersion)
+	if header != want {
+		t.Fatalf("trace header %q, want %q", header, want)
+	}
+	if !strings.Contains(srvLog.String(), "drained cleanly") {
+		t.Fatalf("server log lacks drain confirmation:\n%s", srvLog.String())
 	}
 }
