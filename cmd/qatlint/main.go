@@ -1,0 +1,147 @@
+// qatlint is the static analyzer for Tangled/Qat assembly programs: it
+// assembles each input, reconstructs the control-flow graph, and reports
+// unreachable code, dead stores, reads of never-written registers
+// (including measurements of never-prepared pbits), programs that cannot
+// halt, inescapable loops, illegal instructions on reachable paths, and
+// per-basic-block static energy estimates.
+//
+// Usage:
+//
+//	qatlint [-json] [-severity error|warning|info] [-ways N] [-hot N] prog.s ...
+//	qatlint -farmtest N          also lint the generated test corpus
+//
+// Input "-" (or no arguments) reads from stdin. The exit status is the CI
+// contract: 0 when every input is below the -severity gate, 1 when any
+// finding (or assembly failure) meets it, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tangled/internal/asm"
+	"tangled/internal/farm/farmtest"
+	"tangled/internal/lint"
+)
+
+// fileReport is one input's result in the JSON output.
+type fileReport struct {
+	File string `json:"file"`
+	// AsmErrors carries assembler diagnostics when the input does not
+	// assemble; Report is null in that case.
+	AsmErrors []string     `json:"asm_errors,omitempty"`
+	Report    *lint.Report `json:"report,omitempty"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the full JSON report to stdout")
+	sevFlag := flag.String("severity", "error", "minimum severity that fails the run (info|warning|error)")
+	ways := flag.Int("ways", 0, "assumed entanglement degree for energy estimates (0 = full hardware)")
+	hot := flag.Uint64("hot", 0, "erased-bits-per-iteration budget for hot-block findings (0 = default)")
+	nCorpus := flag.Int("farmtest", 0, "also lint the first N generated farmtest corpus programs")
+	flag.Parse()
+
+	gate, err := lint.ParseSeverity(*sevFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qatlint:", err)
+		os.Exit(2)
+	}
+	opts := lint.Options{Ways: *ways, HotErasedBits: *hot}
+
+	type input struct{ name, src string }
+	var inputs []input
+	if *nCorpus > 0 {
+		if *nCorpus > farmtest.Programs {
+			*nCorpus = farmtest.Programs
+		}
+		for i := 0; i < *nCorpus; i++ {
+			inputs = append(inputs, input{
+				name: fmt.Sprintf("farmtest/%03d", i),
+				src:  farmtest.Generate(farmtest.Seed(i)),
+			})
+		}
+		if opts.Ways == 0 {
+			opts.Ways = farmtest.Ways
+		}
+	}
+	if *nCorpus == 0 && flag.NArg() == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qatlint: stdin:", err)
+			os.Exit(2)
+		}
+		inputs = append(inputs, input{name: "<stdin>", src: string(src)})
+	}
+	for _, path := range flag.Args() {
+		var src []byte
+		var err error
+		if path == "-" {
+			src, err = io.ReadAll(os.Stdin)
+			path = "<stdin>"
+		} else {
+			src, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qatlint:", err)
+			os.Exit(2)
+		}
+		inputs = append(inputs, input{name: path, src: string(src)})
+	}
+
+	failed := false
+	var results []fileReport
+	for _, in := range inputs {
+		fr := fileReport{File: in.name}
+		r, err := lint.AnalyzeSource(in.src, opts)
+		if err != nil {
+			// Assembly failures always meet the gate: an unassemblable
+			// program is at least as broken as an error finding.
+			failed = true
+			var list asm.ErrorList
+			if errors.As(err, &list) {
+				for _, e := range list {
+					fr.AsmErrors = append(fr.AsmErrors, e.Error())
+					if !*jsonOut {
+						fmt.Printf("%s: %s\n", in.name, e.Error())
+					}
+				}
+			} else {
+				fr.AsmErrors = append(fr.AsmErrors, err.Error())
+				if !*jsonOut {
+					fmt.Printf("%s: %v\n", in.name, err)
+				}
+			}
+			results = append(results, fr)
+			continue
+		}
+		fr.Report = r
+		results = append(results, fr)
+		if r.CountAtLeast(gate) > 0 {
+			failed = true
+		}
+		if !*jsonOut {
+			for _, d := range r.Diags {
+				fmt.Printf("%s: %s\n", in.name, d)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Severity string       `json:"severity_gate"`
+			Files    []fileReport `json:"files"`
+		}{gate.String(), results}); err != nil {
+			fmt.Fprintln(os.Stderr, "qatlint:", err)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

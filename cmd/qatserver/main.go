@@ -50,6 +50,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write the cycle trace as JSONL to FILE at shutdown")
 	portFile := flag.String("port-file", "", "write the bound address to FILE once listening (for -addr :0 scripting)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+	strictLint := flag.Bool("strict-lint", false, "refuse statically broken programs (error-severity lint findings) with 422 before admission")
 	quiet := flag.Bool("quiet", false, "suppress startup/drain log lines")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -73,6 +74,7 @@ func main() {
 		QueueLimit:  *queue,
 		BatchWindow: *batchWindow,
 		BatchMax:    *batchMax,
+		StrictLint:  *strictLint,
 		Registry:    reg,
 		Trace:       ring,
 	})

@@ -1,0 +1,14 @@
+; countdown.s — a conditional loop: print 5, 4, 3, 2, 1.
+;
+; Exercises the branch instructions the linter's CFG has to model: the
+; brt back-edge forms a loop block, and the fall-through path reaches the
+; halt epilogue.
+
+	lex	$1, 5		; counter (printed each iteration)
+	lex	$2, -1		; decrement
+loop:	lex	$0, 1		; print $1
+	sys
+	add	$1, $2
+	brt	$1, loop	; loop while the counter is nonzero
+	lex	$0, 0		; halt
+	sys

@@ -1,0 +1,15 @@
+; pbit.s — prepare, entangle and measure Qat pbits.
+;
+; The linter's Qat dataflow follows the coprocessor registers: every pbit
+; read here was prepared first (had/one), so the program is lint-clean —
+; drop the `one @1` line and qatlint reports a use-before-def on @1.
+
+	had	@0, 2		; @0 = superposed pbit over 4 channels
+	one	@1		; @1 = |1>
+	cnot	@1, @0		; @1 ^= @0: entangle the pair
+	lex	$1, 0		; measurement channel
+	meas	$1, @1		; collapse @1 into $1
+	lex	$0, 1		; print the measured value
+	sys
+	lex	$0, 0		; halt
+	sys

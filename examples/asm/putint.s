@@ -1,0 +1,13 @@
+; putint.s — smallest useful Tangled program: compute 5 + 7 and print it.
+;
+;   go run ./cmd/tangled-asm examples/asm/putint.s | go run ./cmd/tangled-run
+;
+; Lint-clean: qatlint examples/asm/putint.s
+
+	lex	$1, 5
+	lex	$2, 7
+	add	$1, $2		; $1 = 12
+	lex	$0, 1		; sys service 1: print $1 as an integer
+	sys
+	lex	$0, 0		; sys service 0: halt
+	sys

@@ -75,15 +75,30 @@ type Program struct {
 	// Source maps each word address to the 1-based source line that
 	// produced it (0 when none, e.g. .space padding).
 	Source []int
+	// Data marks the word addresses emitted by data directives (.word,
+	// .space, .ascii) rather than instructions, so downstream consumers
+	// (the disassembler listing, the static analyzer in package lint) can
+	// tell code from data without guessing from bit patterns. Always the
+	// same length as Words.
+	Data []bool
 }
 
-// Error is an assembly diagnostic tied to a source line.
+// Error is an assembly diagnostic tied to a source position. Line is always
+// 1-based; Col is the 1-based byte column of the offending token within that
+// line, or 0 when no single token is to blame (for lines produced by macro
+// expansion the column refers to the expanded text).
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
-func (e Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+func (e Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
 
 // ErrorList collects all diagnostics from one assembly run.
 type ErrorList []Error
@@ -114,6 +129,7 @@ const (
 // item is one concrete output unit after macro expansion.
 type item struct {
 	line int
+	col  int // column of the ref operand, for pass-2 diagnostics
 	addr uint16
 	inst isa.Inst
 	ref  string
@@ -138,6 +154,9 @@ type assembler struct {
 	errs   ErrorList
 	pc     uint16
 	line   int
+	// rawLine is the text currently being processed (the expanded text
+	// inside macro bodies), used to recover token columns for diagnostics.
+	rawLine string
 
 	// defining is non-nil while between .macro and .endm.
 	defining     *macroDef
@@ -183,12 +202,13 @@ func AssembleWith(src string, enc isa.Encoding) (*Program, error) {
 	for _, it := range a.items {
 		words, err := a.resolve(it)
 		if err != nil {
-			a.errs = append(a.errs, Error{it.line, err.Error()})
+			a.errs = append(a.errs, Error{Line: it.line, Col: it.col, Msg: err.Error()})
 			continue
 		}
 		for _, w := range words {
 			p.Words = append(p.Words, w)
 			p.Source = append(p.Source, it.line)
+			p.Data = append(p.Data, it.isData)
 		}
 	}
 	if len(a.errs) > 0 {
@@ -198,11 +218,30 @@ func AssembleWith(src string, enc isa.Encoding) (*Program, error) {
 }
 
 func (a *assembler) errorf(format string, args ...interface{}) {
-	a.errs = append(a.errs, Error{a.line, fmt.Sprintf(format, args...)})
+	a.errs = append(a.errs, Error{Line: a.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// errorfTok is errorf with the column of tok within the current line.
+func (a *assembler) errorfTok(tok, format string, args ...interface{}) {
+	a.errs = append(a.errs, Error{Line: a.line, Col: a.colOf(tok), Msg: fmt.Sprintf(format, args...)})
+}
+
+// colOf recovers the 1-based byte column of the first occurrence of tok in
+// the line being processed, or 0 when it cannot be located (empty token, or
+// text rewritten beyond recognition by macro substitution).
+func (a *assembler) colOf(tok string) int {
+	if tok == "" {
+		return 0
+	}
+	if i := strings.Index(a.rawLine, tok); i >= 0 {
+		return i + 1
+	}
+	return 0
 }
 
 // doLine handles labels, directives and (macro-)instructions on one line.
 func (a *assembler) doLine(raw string) {
+	a.rawLine = raw
 	s := strings.TrimSpace(stripComment(raw))
 	if a.defining != nil {
 		// Collecting a macro body: only .endm is interpreted.
@@ -226,11 +265,11 @@ func (a *assembler) doLine(raw string) {
 			break
 		}
 		if _, dup := a.labels[label]; dup {
-			a.errorf("duplicate label %q", label)
+			a.errorfTok(label, "duplicate label %q", label)
 			return
 		}
 		if _, dup := a.consts[label]; dup {
-			a.errorf("label %q collides with a .equ constant", label)
+			a.errorfTok(label, "label %q collides with a .equ constant", label)
 			return
 		}
 		a.labels[label] = a.pc
@@ -277,9 +316,11 @@ func isIdent(s string) bool {
 	return true
 }
 
-// emit appends a concrete instruction, advancing the location counter.
+// emit appends a concrete instruction, advancing the location counter. The
+// column of the ref operand (if any) is captured now so pass-2 resolution
+// failures can point at the token.
 func (a *assembler) emit(inst isa.Inst, ref string, kind refKind) {
-	it := item{line: a.line, addr: a.pc, inst: inst, ref: ref, kind: kind}
+	it := item{line: a.line, col: a.colOf(ref), addr: a.pc, inst: inst, ref: ref, kind: kind}
 	a.items = append(a.items, it)
 	a.pc += uint16(inst.Words())
 }
@@ -289,7 +330,7 @@ func (a *assembler) emitData(w uint16, ref string) {
 	if ref != "" {
 		kind = refWord
 	}
-	a.items = append(a.items, item{line: a.line, addr: a.pc, isData: true, data: w, ref: ref, kind: kind})
+	a.items = append(a.items, item{line: a.line, col: a.colOf(ref), addr: a.pc, isData: true, data: w, ref: ref, kind: kind})
 	a.pc++
 }
 
@@ -389,7 +430,7 @@ func (a *assembler) doStatement(mnemonic string, ops []string) {
 		}
 		c, err := parseReg(ops[0])
 		if err != nil {
-			a.errorf("%s: %v", mnemonic, err)
+			a.errorfTok(ops[0], "%s: %v", mnemonic, err)
 			return
 		}
 		// Skip over the 3-word jump expansion when the condition does not
@@ -434,7 +475,7 @@ func (a *assembler) doStatement(mnemonic string, ops []string) {
 		}
 		d, err := parseReg(ops[0])
 		if err != nil {
-			a.errorf("loadi: %v", err)
+			a.errorfTok(ops[0], "loadi: %v", err)
 			return
 		}
 		if isIdent(ops[1]) && !isNumber(ops[1]) {
@@ -444,7 +485,7 @@ func (a *assembler) doStatement(mnemonic string, ops []string) {
 		}
 		v, err := parseImm(ops[1], 16)
 		if err != nil {
-			a.errorf("loadi: %v", err)
+			a.errorfTok(ops[1], "loadi: %v", err)
 			return
 		}
 		if v >= -128 && v <= 127 {
@@ -533,11 +574,11 @@ func (a *assembler) doQatMacro(mnemonic string, ops []string) {
 	for i, op := range ops {
 		r, err := parseQReg(op)
 		if err != nil {
-			a.errorf("%s: %v", mnemonic, err)
+			a.errorfTok(op, "%s: %v", mnemonic, err)
 			return
 		}
 		if r == QatAT {
-			a.errorf("%s: @%d is reserved as the Qat macro temporary", mnemonic, QatAT)
+			a.errorfTok(op, "%s: @%d is reserved as the Qat macro temporary", mnemonic, QatAT)
 			return
 		}
 		regs[i] = r
@@ -580,7 +621,7 @@ func (a *assembler) expandJump(target string) {
 
 func (a *assembler) wantOps(mnemonic string, ops []string, n int) bool {
 	if len(ops) != n {
-		a.errorf("%s wants %d operand(s), got %d", mnemonic, n, len(ops))
+		a.errorfTok(mnemonic, "%s wants %d operand(s), got %d", mnemonic, n, len(ops))
 		return false
 	}
 	return true
@@ -686,13 +727,13 @@ func mnemonicOp(mnemonic string, ops []string) (isa.Op, bool) {
 func (a *assembler) doInstruction(mnemonic string, ops []string) {
 	op, ok := mnemonicOp(mnemonic, ops)
 	if !ok {
-		a.errorf("unknown mnemonic %q", mnemonic)
+		a.errorfTok(mnemonic, "unknown mnemonic %q", mnemonic)
 		return
 	}
 	inst := isa.Inst{Op: op}
 	var ref string
 	kind := refNone
-	fail := func(err error) { a.errorf("%s: %v", mnemonic, err) }
+	fail := func(tok string, err error) { a.errorfTok(tok, "%s: %v", mnemonic, err) }
 	switch op.Fmt() {
 	case isa.FmtRR:
 		if !a.wantOps(mnemonic, ops, 2) {
@@ -700,12 +741,12 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		d, err := parseReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		s, err := parseReg(ops[1])
 		if err != nil {
-			fail(err)
+			fail(ops[1], err)
 			return
 		}
 		inst.RD, inst.RS = d, s
@@ -715,7 +756,7 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		d, err := parseReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		inst.RD = d
@@ -725,7 +766,7 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		d, err := parseReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		inst.RD = d
@@ -735,7 +776,7 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		v, err := parseImm(ops[1], 8)
 		if err != nil {
-			fail(err)
+			fail(ops[1], err)
 			return
 		}
 		inst.Imm = int8(v)
@@ -745,7 +786,7 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		c, err := parseReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		inst.RD = c
@@ -754,7 +795,7 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		} else {
 			v, err := parseImm(ops[1], 8)
 			if err != nil {
-				fail(err)
+				fail(ops[1], err)
 				return
 			}
 			inst.Imm = int8(v)
@@ -769,7 +810,7 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		qa, err := parseQReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		inst.QA = qa
@@ -779,12 +820,12 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		qa, err := parseQReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		k, err := parseImm(ops[1], 8)
 		if err != nil || k < 0 || k > 15 {
-			fail(fmt.Errorf("bad hadamard index %q", ops[1]))
+			fail(ops[1], fmt.Errorf("bad hadamard index %q", ops[1]))
 			return
 		}
 		inst.QA, inst.K = qa, uint8(k)
@@ -794,12 +835,12 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		d, err := parseReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		qa, err := parseQReg(ops[1])
 		if err != nil {
-			fail(err)
+			fail(ops[1], err)
 			return
 		}
 		inst.RD, inst.QA = d, qa
@@ -809,12 +850,12 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		qa, err := parseQReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		qb, err := parseQReg(ops[1])
 		if err != nil {
-			fail(err)
+			fail(ops[1], err)
 			return
 		}
 		inst.QA, inst.QB = qa, qb
@@ -824,17 +865,17 @@ func (a *assembler) doInstruction(mnemonic string, ops []string) {
 		}
 		qa, err := parseQReg(ops[0])
 		if err != nil {
-			fail(err)
+			fail(ops[0], err)
 			return
 		}
 		qb, err := parseQReg(ops[1])
 		if err != nil {
-			fail(err)
+			fail(ops[1], err)
 			return
 		}
 		qc, err := parseQReg(ops[2])
 		if err != nil {
-			fail(err)
+			fail(ops[2], err)
 			return
 		}
 		inst.QA, inst.QB, inst.QC = qa, qb, qc

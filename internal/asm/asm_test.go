@@ -832,3 +832,73 @@ func TestQatRegisterNumericRange(t *testing.T) {
 		}
 	}
 }
+
+// TestErrorColumns checks that diagnostics carry 1-based line and column
+// info pointing at the offending token — the contract /v1/assemble's 400
+// body and qatlint's text output both depend on.
+func TestErrorColumns(t *testing.T) {
+	cases := []struct {
+		src       string
+		line, col int
+		frag      string
+	}{
+		{"x: sys\nx: sys", 2, 1, "duplicate label"},
+		{"  add $1,$77", 1, 10, "bad register"},
+		{"lex $0,300", 1, 8, "does not fit"},
+		{"brt $0,nowhere", 1, 8, "undefined label"},
+		{"frob $1,$2", 1, 1, "unknown mnemonic"},
+		{"zero @256", 1, 6, "bad Qat register"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q assembled without error", c.src)
+			continue
+		}
+		el, ok := err.(ErrorList)
+		if !ok || len(el) == 0 {
+			t.Errorf("%q: error type %T", c.src, err)
+			continue
+		}
+		e := el[0]
+		if e.Line != c.line || e.Col != c.col || !strings.Contains(e.Msg, c.frag) {
+			t.Errorf("%q: got line %d col %d msg %q, want line %d col %d msg containing %q",
+				c.src, e.Line, e.Col, e.Msg, c.line, c.col, c.frag)
+		}
+	}
+}
+
+// TestBranchOutOfRangeColumn checks the pass-2 out-of-range diagnostic
+// points at the branch target token.
+func TestBranchOutOfRangeColumn(t *testing.T) {
+	src := "brt $0,far\n"
+	for i := 0; i < 200; i++ {
+		src += "sys\n"
+	}
+	src += "far: sys\n"
+	_, err := Assemble(src)
+	el, ok := err.(ErrorList)
+	if !ok || len(el) == 0 {
+		t.Fatalf("error type %T (%v)", err, err)
+	}
+	if el[0].Line != 1 || el[0].Col != 8 || !strings.Contains(el[0].Msg, "out of range") {
+		t.Errorf("got %+v, want line 1 col 8 out-of-range", el[0])
+	}
+}
+
+// TestProgramDataMarks checks Data marks exactly the directive-emitted words.
+func TestProgramDataMarks(t *testing.T) {
+	p := mustAssemble(t, "lex $0,0\nsys\ntab: .word 7\n.space 2\n.ascii \"ab\"\n")
+	if len(p.Data) != len(p.Words) {
+		t.Fatalf("Data length %d != Words length %d", len(p.Data), len(p.Words))
+	}
+	want := []bool{false, false, true, true, true, true, true}
+	if len(p.Words) != len(want) {
+		t.Fatalf("got %d words, want %d", len(p.Words), len(want))
+	}
+	for i, w := range want {
+		if p.Data[i] != w {
+			t.Errorf("Data[%d] = %v, want %v", i, p.Data[i], w)
+		}
+	}
+}

@@ -55,6 +55,48 @@ func Classify(op isa.Op) Class {
 	}
 }
 
+// String names the class for diagnostics and reports.
+func (c Class) String() string {
+	switch c {
+	case Reversible:
+		return "reversible"
+	case Irreversible:
+		return "irreversible"
+	default:
+		return "read-only"
+	}
+}
+
+// StaticCost bounds the energy proxies of one executed operation without
+// running it: the worst case is every bit of every written register
+// toggling, so an op writing w registers on a 2^ways-channel machine
+// switches at most w<<ways bits, all of them erased when the operation is
+// irreversible. This is the static analogue of Meter.Record — package lint
+// uses it to estimate per-basic-block energy before a program is admitted.
+func StaticCost(op isa.Op, ways int) (switched, erased uint64) {
+	if ways < 0 {
+		ways = 0
+	}
+	if ways > aob.MaxWays {
+		ways = aob.MaxWays
+	}
+	var writes uint64
+	switch op {
+	case isa.OpQSwap, isa.OpQCswap:
+		writes = 2
+	case isa.OpQZero, isa.OpQOne, isa.OpQHad, isa.OpQNot,
+		isa.OpQAnd, isa.OpQOr, isa.OpQXor, isa.OpQCnot, isa.OpQCcnot:
+		writes = 1
+	default:
+		return 0, 0
+	}
+	switched = writes << uint(ways)
+	if Classify(op) == Irreversible {
+		erased = switched
+	}
+	return switched, erased
+}
+
 // Toggles counts the bit positions where two equal-width vectors differ —
 // the switching events of overwriting one with the other.
 func Toggles(before, after *aob.Vector) uint64 {

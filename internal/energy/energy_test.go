@@ -9,6 +9,7 @@ import (
 	"tangled/internal/cpu"
 	"tangled/internal/energy"
 	"tangled/internal/isa"
+	"tangled/internal/qat"
 )
 
 func TestClassify(t *testing.T) {
@@ -184,5 +185,47 @@ func TestS5EnergyAblation(t *testing.T) {
 	if rev.ErasedBits >= irr.ErasedBits {
 		t.Errorf("reversible erases more bits outright (%d >= %d)",
 			rev.ErasedBits, irr.ErasedBits)
+	}
+}
+
+// TestStaticCostBoundsMeter checks that the static per-op bound dominates
+// every dynamic measurement: run an op on a real coprocessor and compare the
+// meter's recorded toggles against StaticCost.
+func TestStaticCostBoundsMeter(t *testing.T) {
+	const ways = 6
+	ops := []isa.Inst{
+		{Op: isa.OpQZero, QA: 1},
+		{Op: isa.OpQOne, QA: 1},
+		{Op: isa.OpQNot, QA: 1},
+		{Op: isa.OpQHad, QA: 1, K: 3},
+		{Op: isa.OpQAnd, QA: 1, QB: 2, QC: 3},
+		{Op: isa.OpQXor, QA: 1, QB: 2, QC: 3},
+		{Op: isa.OpQCnot, QA: 1, QB: 2},
+		{Op: isa.OpQSwap, QA: 1, QB: 2},
+		{Op: isa.OpQCswap, QA: 1, QB: 2, QC: 3},
+		{Op: isa.OpQMeas, RD: 1, QA: 1},
+	}
+	for _, inst := range ops {
+		q := qat.New(ways)
+		q.Meter = energy.NewMeter()
+		for a := uint8(1); a <= 3; a++ {
+			if _, _, err := q.Exec(isa.Inst{Op: isa.OpQHad, QA: a, K: a % ways}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q.Meter.Reset()
+		if _, _, err := q.Exec(inst, 0); err != nil {
+			t.Fatalf("%s: %v", inst, err)
+		}
+		sw, er := energy.StaticCost(inst.Op, ways)
+		if q.Meter.SwitchedBits > sw {
+			t.Errorf("%s: measured %d switched > static bound %d", inst, q.Meter.SwitchedBits, sw)
+		}
+		if q.Meter.ErasedBits > er {
+			t.Errorf("%s: measured %d erased > static bound %d", inst, q.Meter.ErasedBits, er)
+		}
+	}
+	if sw, er := energy.StaticCost(isa.OpAdd, ways); sw != 0 || er != 0 {
+		t.Errorf("non-Qat op has static cost %d/%d", sw, er)
 	}
 }

@@ -1,0 +1,528 @@
+package lint
+
+// Control-flow graph reconstruction from an assembled word image.
+//
+// Instructions are recovered by a linear sweep that respects the
+// assembler's code/data marks when present (asm.Program.Data) and falls
+// back to treating undecodable words as data for bare word images. On top
+// of the instruction stream:
+//
+//   - branch successors follow the execute semantics of package cpu
+//     (target = addr + length + imm);
+//   - the brf/brt complementary pair the assembler's br pseudo emits is
+//     recognized as a single unconditional transfer, so code after it is
+//     not spuriously considered reachable;
+//   - jumpr targets are resolved by constant propagation over lex/lhi
+//     (the jump pseudo's expansion), restarted at every join point (label,
+//     branch target, run break); a jumpr whose register is not a known
+//     constant is an indirect exit, which makes the graph imprecise and
+//     widens reachability roots to every labeled instruction.
+
+import (
+	"fmt"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/isa"
+)
+
+// instNode is one decoded instruction.
+type instNode struct {
+	addr  uint16
+	inst  isa.Inst
+	words uint16
+	line  int
+	eff   isa.Effects
+	// prevOK/prev locate the instruction immediately before this one in
+	// the same linear run, for the brf/brt pair peephole.
+	prevOK bool
+	prev   uint16
+	// pairBr marks both halves of the complementary brf/brt pair the br
+	// pseudo emits: together they transfer unconditionally, so neither
+	// half's behavior observably depends on the condition register.
+	pairBr bool
+}
+
+// block is one basic block over reachable instructions.
+type block struct {
+	id    int
+	insts []*instNode
+	succs []int
+	preds []int
+	// exitsUnknown marks conservative exits: an unresolved jumpr, or a
+	// control transfer into a non-instruction word (already diagnosed).
+	exitsUnknown bool
+	mayHalt      bool
+	inLoop       bool
+	sccID        int
+}
+
+func (b *block) start() uint16 { return b.insts[0].addr }
+func (b *block) end() uint16 {
+	last := b.insts[len(b.insts)-1]
+	return last.addr + last.words
+}
+
+// badEdge is a control transfer from a reachable instruction to a word that
+// is not an instruction.
+type badEdge struct {
+	from *instNode
+	to   uint16
+	fall bool // fall-through rather than branch/jump
+}
+
+type cfg struct {
+	p    *asm.Program
+	opts Options
+	n    uint16 // program length in words
+
+	insts map[uint16]*instNode
+	order []uint16 // sorted instruction addresses
+
+	data map[uint16]bool   // words known or assumed to be data
+	bad  map[uint16]string // words that failed to decode (unknown-layout images)
+
+	jumprTo  map[uint16]uint16 // resolved jumpr targets by instruction addr
+	indirect map[uint16]bool   // unresolved jumpr instruction addrs
+	haltAt   map[uint16]bool   // sys instructions that certainly halt ($0 == SysHalt)
+
+	reach     map[uint16]bool
+	badEdges  []badEdge
+	imprecise bool
+
+	blocks  []*block
+	blockOf map[uint16]int // instruction addr -> block id (reachable only)
+}
+
+// buildCFG decodes, resolves jump targets, computes reachability and forms
+// basic blocks.
+func buildCFG(p *asm.Program, opts Options) *cfg {
+	g := &cfg{
+		p:        p,
+		opts:     opts,
+		n:        uint16(len(p.Words)),
+		insts:    make(map[uint16]*instNode),
+		data:     make(map[uint16]bool),
+		bad:      make(map[uint16]string),
+		jumprTo:  make(map[uint16]uint16),
+		indirect: make(map[uint16]bool),
+		haltAt:   make(map[uint16]bool),
+		reach:    make(map[uint16]bool),
+		blockOf:  make(map[uint16]int),
+	}
+	g.decode()
+	g.markPairs()
+	g.resolveJumpr()
+	g.computeReach()
+	g.formBlocks()
+	return g
+}
+
+// markPairs flags the brf/brt complementary pairs emitted by the br pseudo.
+func (g *cfg) markPairs() {
+	for _, addr := range g.order {
+		in := g.insts[addr]
+		if in.inst.Op != isa.OpBrt || !in.prevOK {
+			continue
+		}
+		if p, ok := g.insts[in.prev]; ok && p.inst.Op == isa.OpBrf &&
+			p.inst.RD == in.inst.RD && branchTarget(p) == branchTarget(in) {
+			p.pairBr, in.pairBr = true, true
+		}
+	}
+}
+
+// markedData reports the assembler's code/data verdict for word addr, when
+// the program carries one.
+func (g *cfg) markedData(addr uint16) bool {
+	return len(g.p.Data) == len(g.p.Words) && g.p.Data[addr]
+}
+
+// lineOf maps a word address to its 1-based source line (0 when unknown).
+func (g *cfg) lineOf(addr uint16) int {
+	if int(addr) < len(g.p.Source) {
+		return g.p.Source[addr]
+	}
+	return 0
+}
+
+// decode performs the linear sweep. Words marked as data by the assembler
+// break the instruction stream; in unmarked images an undecodable word is
+// recorded in g.bad, treated as data, and the sweep resumes at the next
+// word.
+func (g *cfg) decode() {
+	var prev *instNode
+	for addr := uint16(0); addr < g.n; {
+		if g.markedData(addr) {
+			g.data[addr] = true
+			prev = nil
+			addr++
+			continue
+		}
+		w0 := g.p.Words[addr]
+		var w1 uint16
+		if addr+1 < g.n && !g.markedData(addr+1) {
+			w1 = g.p.Words[addr+1]
+		}
+		inst, n, err := g.opts.Enc.Decode(w0, w1)
+		if err == nil && n == 2 && (addr+1 >= g.n || g.markedData(addr+1)) {
+			err = fmt.Errorf("two-word instruction truncated at %#04x", addr)
+		}
+		if err != nil {
+			g.bad[addr] = err.Error()
+			g.data[addr] = true
+			prev = nil
+			addr++
+			continue
+		}
+		in := &instNode{
+			addr:  addr,
+			inst:  inst,
+			words: uint16(n),
+			line:  g.lineOf(addr),
+			eff:   isa.InstEffects(inst),
+		}
+		if prev != nil {
+			in.prevOK, in.prev = true, prev.addr
+		}
+		g.insts[addr] = in
+		g.order = append(g.order, addr)
+		prev = in
+		addr += uint16(n)
+	}
+}
+
+// branchTarget computes a brf/brt target following cpu.Step: the PC has
+// already advanced past the instruction when the offset is applied.
+func branchTarget(in *instNode) uint16 {
+	return in.addr + in.words + uint16(int16(in.inst.Imm))
+}
+
+// resolveJumpr propagates lex/lhi constants to jumpr instructions. The
+// propagation restarts at every join point: run breaks, labels, static
+// branch targets, and (iteratively) already-resolved jumpr targets — so a
+// constant is only trusted when every path to the jumpr agrees trivially.
+func (g *cfg) resolveJumpr() {
+	joins := make(map[uint16]bool)
+	for _, a := range g.p.Symbols {
+		joins[a] = true
+	}
+	for _, addr := range g.order {
+		in := g.insts[addr]
+		switch in.inst.Op {
+		case isa.OpBrf, isa.OpBrt:
+			joins[branchTarget(in)] = true
+			joins[in.addr+in.words] = true
+		}
+	}
+	for iter := 0; iter < 4; iter++ {
+		resolved := g.constPass(joins)
+		changed := false
+		for _, t := range resolved {
+			if !joins[t] {
+				joins[t] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// constPass runs one constant-propagation sweep, filling g.jumprTo and
+// g.indirect, and returns the targets resolved this pass.
+func (g *cfg) constPass(joins map[uint16]bool) []uint16 {
+	var known uint16 // bitmask of registers with known constants
+	var vals [isa.NumRegs]uint16
+	var targets []uint16
+	var prev *instNode
+	for _, addr := range g.order {
+		in := g.insts[addr]
+		if joins[addr] || prev == nil || !in.prevOK || in.prev != prev.addr {
+			known = 0
+			// The loader zeroes every register, so at the true entry —
+			// unless address 0 is also a join target — all constants are
+			// known to be zero.
+			if addr == 0 && !joins[0] {
+				known = 1<<isa.NumRegs - 1
+				vals = [isa.NumRegs]uint16{}
+			}
+		}
+		switch in.inst.Op {
+		case isa.OpLex:
+			vals[in.inst.RD] = uint16(int16(in.inst.Imm))
+			known |= 1 << in.inst.RD
+		case isa.OpLhi:
+			if known&(1<<in.inst.RD) != 0 {
+				vals[in.inst.RD] = vals[in.inst.RD]&0x00FF | uint16(uint8(in.inst.Imm))<<8
+			}
+		case isa.OpJumpr:
+			delete(g.jumprTo, addr)
+			delete(g.indirect, addr)
+			if known&(1<<in.inst.RD) != 0 {
+				g.jumprTo[addr] = vals[in.inst.RD]
+				targets = append(targets, vals[in.inst.RD])
+			} else {
+				g.indirect[addr] = true
+			}
+		case isa.OpSys:
+			delete(g.haltAt, addr)
+			if known&1 != 0 && vals[0] == cpu.SysHalt {
+				g.haltAt[addr] = true
+			}
+		default:
+			known &^= in.eff.WriteRegs
+		}
+		prev = in
+	}
+	return targets
+}
+
+// succInfo describes where control can go after one instruction.
+type succInfo struct {
+	targets []uint16
+	unknown bool // unresolved indirect jump
+}
+
+// succsOf computes an instruction's successor addresses (which may point at
+// non-instruction words — the caller classifies those).
+func (g *cfg) succsOf(in *instNode) succInfo {
+	next := in.addr + in.words
+	switch in.inst.Op {
+	case isa.OpJumpr:
+		if t, ok := g.jumprTo[in.addr]; ok {
+			return succInfo{targets: []uint16{t}}
+		}
+		return succInfo{unknown: true}
+	case isa.OpBrf:
+		return succInfo{targets: dedup(next, branchTarget(in))}
+	case isa.OpBrt:
+		t := branchTarget(in)
+		// The second half of a br pair transfers unconditionally: whatever
+		// the register holds, either the brf already fired or this fires.
+		if in.pairBr {
+			return succInfo{targets: []uint16{t}}
+		}
+		return succInfo{targets: dedup(next, t)}
+	case isa.OpSys:
+		// A sys whose $0 is the known constant SysHalt certainly stops the
+		// machine: the canonical `lex $0, 0; sys` epilogue does not fall
+		// through off the end of the image.
+		if g.haltAt[in.addr] {
+			return succInfo{}
+		}
+		return succInfo{targets: []uint16{next}}
+	default:
+		return succInfo{targets: []uint16{next}}
+	}
+}
+
+func dedup(a, b uint16) []uint16 {
+	if a == b {
+		return []uint16{a}
+	}
+	return []uint16{a, b}
+}
+
+// computeReach runs BFS from address 0; when an unresolved indirect jump is
+// reachable the graph is imprecise, so every labeled instruction is added
+// as a root (functions invoked through computed addresses) and the sweep
+// repeats. Control transfers into non-instruction words are collected as
+// badEdges for the halt/illegal checks.
+func (g *cfg) computeReach() {
+	roots := []uint16{0}
+	for pass := 0; pass < 2; pass++ {
+		g.reach = make(map[uint16]bool)
+		g.badEdges = nil
+		g.imprecise = false
+		work := append([]uint16(nil), roots...)
+		for len(work) > 0 {
+			addr := work[len(work)-1]
+			work = work[:len(work)-1]
+			in, ok := g.insts[addr]
+			if !ok || g.reach[addr] {
+				continue
+			}
+			g.reach[addr] = true
+			si := g.succsOf(in)
+			if si.unknown {
+				g.imprecise = true
+				continue
+			}
+			for _, t := range si.targets {
+				if _, ok := g.insts[t]; ok {
+					if !g.reach[t] {
+						work = append(work, t)
+					}
+				} else {
+					g.badEdges = append(g.badEdges, badEdge{from: in, to: t, fall: t == in.addr+in.words && in.inst.Op != isa.OpJumpr})
+				}
+			}
+		}
+		if !g.imprecise {
+			return
+		}
+		// Imprecise graph: widen the roots to every labeled instruction
+		// and redo the sweep once.
+		if pass == 0 {
+			for _, a := range g.p.Symbols {
+				if _, ok := g.insts[a]; ok {
+					roots = append(roots, a)
+				}
+			}
+		}
+	}
+}
+
+// formBlocks groups reachable instructions into basic blocks and wires
+// block-level successor/predecessor edges.
+func (g *cfg) formBlocks() {
+	leaders := map[uint16]bool{0: true}
+	for _, a := range g.p.Symbols {
+		if g.reach[a] {
+			leaders[a] = true
+		}
+	}
+	for _, addr := range g.order {
+		if !g.reach[addr] {
+			continue
+		}
+		in := g.insts[addr]
+		si := g.succsOf(in)
+		isTransfer := in.eff.Control
+		for _, t := range si.targets {
+			if isTransfer && g.reach[t] {
+				leaders[t] = true
+			}
+		}
+		if isTransfer {
+			leaders[in.addr+in.words] = true
+		}
+	}
+	var cur *block
+	var prevIn *instNode
+	for _, addr := range g.order {
+		if !g.reach[addr] {
+			prevIn = nil
+			continue
+		}
+		in := g.insts[addr]
+		brk := cur == nil || leaders[addr] || prevIn == nil || !in.prevOK || in.prev != prevIn.addr
+		if brk {
+			cur = &block{id: len(g.blocks)}
+			g.blocks = append(g.blocks, cur)
+		}
+		cur.insts = append(cur.insts, in)
+		g.blockOf[addr] = cur.id
+		if in.eff.MayHalt {
+			cur.mayHalt = true
+		}
+		prevIn = in
+	}
+	for _, b := range g.blocks {
+		last := b.insts[len(b.insts)-1]
+		si := g.succsOf(last)
+		if si.unknown {
+			b.exitsUnknown = true
+			continue
+		}
+		seen := map[int]bool{}
+		for _, t := range si.targets {
+			if id, ok := g.blockOf[t]; ok {
+				if !seen[id] {
+					seen[id] = true
+					b.succs = append(b.succs, id)
+					g.blocks[id].preds = append(g.blocks[id].preds, b.id)
+				}
+			} else {
+				// Transfer into a non-instruction word: diagnosed via
+				// badEdges; conservatively an unknown exit.
+				b.exitsUnknown = true
+			}
+		}
+	}
+	g.markLoops()
+}
+
+// markLoops runs an iterative Tarjan SCC pass and marks every block on a
+// cycle (an SCC of size > 1, or a self-edge).
+func (g *cfg) markLoops() {
+	n := len(g.blocks)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	sccN := 0
+
+	type frame struct{ v, ei int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < len(g.blocks[v].succs) {
+				w := g.blocks[v].succs[f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				for _, w := range comp {
+					g.blocks[w].sccID = sccN
+				}
+				if len(comp) > 1 {
+					for _, w := range comp {
+						g.blocks[w].inLoop = true
+					}
+				} else {
+					b := g.blocks[comp[0]]
+					for _, s := range b.succs {
+						if s == b.id {
+							b.inLoop = true
+						}
+					}
+				}
+				sccN++
+			}
+		}
+	}
+}

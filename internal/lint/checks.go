@@ -1,0 +1,233 @@
+package lint
+
+// Structural checks over the CFG (decode failures, reachability, halting,
+// inescapable loops) and the static energy estimate.
+
+import (
+	"fmt"
+
+	"tangled/internal/energy"
+)
+
+// checkDecode reports reachable control transfers into words that are not
+// instructions: undecodable words and entries into the middle of a two-word
+// instruction. (Transfers past the end and into data are halting problems,
+// handled by checkHalt.)
+func (g *cfg) checkDecode(r *Report) {
+	for _, e := range dedupEdges(g.badEdges) {
+		if e.to >= g.n {
+			continue
+		}
+		if msg, ok := g.bad[e.to]; ok {
+			r.add(Diagnostic{Check: CheckIllegalInst, Severity: Error,
+				Addr: e.from.addr, Line: e.from.line,
+				Msg: fmt.Sprintf("control reaches word %#04x, which does not decode (%s)", e.to, msg)})
+			continue
+		}
+		if !g.data[e.to] && !g.markedData(e.to) {
+			r.add(Diagnostic{Check: CheckIllegalInst, Severity: Error,
+				Addr: e.from.addr, Line: e.from.line,
+				Msg: fmt.Sprintf("control transfers into the middle of the two-word instruction at %#04x", e.to)})
+		}
+	}
+}
+
+// checkHalt reports paths that certainly fail to halt cleanly: falling off
+// the end of the image, running into data, and programs where no sys
+// instruction is reachable at all.
+func (g *cfg) checkHalt(r *Report) {
+	for _, e := range dedupEdges(g.badEdges) {
+		switch {
+		case e.to >= g.n:
+			verb := "branches"
+			if e.fall {
+				verb = "falls off the end of the program"
+				r.add(Diagnostic{Check: CheckNoHalt, Severity: Error,
+					Addr: e.from.addr, Line: e.from.line,
+					Msg: "execution " + verb + " into zeroed memory and cannot halt"})
+				continue
+			}
+			r.add(Diagnostic{Check: CheckNoHalt, Severity: Error,
+				Addr: e.from.addr, Line: e.from.line,
+				Msg: fmt.Sprintf("%s past the end of the program (target %#04x)", verb, e.to)})
+		case g.data[e.to] || g.markedData(e.to):
+			if _, bad := g.bad[e.to]; bad {
+				continue // reported by checkDecode
+			}
+			verb := "jumps into"
+			if e.fall {
+				verb = "falls through into"
+			}
+			r.add(Diagnostic{Check: CheckNoHalt, Severity: Error,
+				Addr: e.from.addr, Line: e.from.line,
+				Msg: fmt.Sprintf("execution %s the data word at %#04x", verb, e.to)})
+		}
+	}
+	for _, addr := range g.order {
+		if g.reach[addr] && g.insts[addr].eff.MayHalt {
+			return
+		}
+	}
+	// No reachable sys. On an imprecise graph a sys that merely exists
+	// might still be reached through an unresolved jumpr, so only report
+	// when none exists at all.
+	if g.imprecise {
+		for _, addr := range g.order {
+			if g.insts[addr].eff.MayHalt {
+				return
+			}
+		}
+	}
+	r.add(Diagnostic{Check: CheckNoHalt, Severity: Error, Addr: 0, Line: g.lineOf(0),
+		Msg: "no sys instruction is reachable: the program cannot halt"})
+}
+
+// dedupEdges collapses duplicate (from, to) bad edges, preserving order.
+func dedupEdges(edges []badEdge) []badEdge {
+	type key struct{ from, to uint16 }
+	seen := make(map[key]bool, len(edges))
+	out := edges[:0:0]
+	for _, e := range edges {
+		k := key{e.from.addr, e.to}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// checkReachability reports maximal runs of instructions no execution can
+// reach. When the image carries no assembler code/data marks an unreached
+// region may simply be data the sweep happened to decode, so the finding is
+// downgraded to Info.
+func (g *cfg) checkReachability(r *Report) {
+	sev := Warning
+	if len(g.p.Data) != len(g.p.Words) {
+		sev = Info
+	}
+	var start, end, count int = -1, 0, 0
+	flush := func() {
+		if start < 0 {
+			return
+		}
+		first := g.insts[g.order[start]]
+		last := g.insts[g.order[end]]
+		r.add(Diagnostic{Check: CheckUnreachable, Severity: sev,
+			Addr: first.addr, Line: first.line,
+			Msg: fmt.Sprintf("unreachable code: %d instruction(s) at %#04x..%#04x are never executed",
+				count, first.addr, last.addr+last.words-1)})
+		start, count = -1, 0
+	}
+	for i, addr := range g.order {
+		if g.reach[addr] {
+			flush()
+			continue
+		}
+		in := g.insts[addr]
+		contiguous := start >= 0 && in.prevOK && in.prev == g.order[end]
+		if !contiguous {
+			flush()
+			start = i
+		}
+		end = i
+		count++
+	}
+	flush()
+}
+
+// checkSelfLoops reports reachable cycles control flow cannot leave: every
+// edge stays inside the strongly connected component, no member can halt,
+// and no member has an unknown (indirect) exit.
+func (g *cfg) checkSelfLoops(r *Report) {
+	if len(g.blocks) == 0 {
+		return
+	}
+	nSCC := 0
+	for _, b := range g.blocks {
+		if b.sccID >= nSCC {
+			nSCC = b.sccID + 1
+		}
+	}
+	type sccInfo struct {
+		blocks  []*block
+		cyclic  bool
+		escapes bool
+		halts   bool
+	}
+	sccs := make([]sccInfo, nSCC)
+	for _, b := range g.blocks {
+		s := &sccs[b.sccID]
+		s.blocks = append(s.blocks, b)
+		if b.inLoop {
+			s.cyclic = true
+		}
+		if b.mayHalt {
+			s.halts = true
+		}
+		if b.exitsUnknown {
+			s.escapes = true
+		}
+		for _, succ := range b.succs {
+			if g.blocks[succ].sccID != b.sccID {
+				s.escapes = true
+			}
+		}
+	}
+	for _, s := range sccs {
+		if !s.cyclic || s.escapes || s.halts {
+			continue
+		}
+		first := s.blocks[0]
+		for _, b := range s.blocks[1:] {
+			if b.start() < first.start() {
+				first = b
+			}
+		}
+		msg := "unconditional self-jump: the instruction loops forever"
+		if len(s.blocks) > 1 || len(first.insts) > 1 {
+			msg = fmt.Sprintf("control flow cannot leave the loop at %#04x (no exit edge, no sys)", first.start())
+		}
+		r.add(Diagnostic{Check: CheckSelfLoop, Severity: Error,
+			Addr: first.start(), Line: first.insts[0].line, Msg: msg})
+	}
+}
+
+// checkCosts computes per-block static energy bounds via energy.StaticCost
+// and flags loop blocks whose per-iteration erasure exceeds the configured
+// budget — statically visible Landauer cost, the lint-time analogue of the
+// paper's adiabatic-power argument.
+func (g *cfg) checkCosts(r *Report, opts Options) {
+	for _, b := range g.blocks {
+		var bc BlockCost
+		bc.Start, bc.End = b.start(), b.end()
+		bc.Line = b.insts[0].line
+		bc.InLoop = b.inLoop
+		for _, ins := range b.insts {
+			op := ins.inst.Op
+			if !op.IsQat() {
+				continue
+			}
+			bc.QatOps++
+			switch energy.Classify(op) {
+			case energy.Reversible:
+				bc.ReversibleOps++
+			case energy.Irreversible:
+				bc.IrreversibleOps++
+			}
+			sw, er := energy.StaticCost(op, opts.Ways)
+			bc.SwitchedBitsMax += sw
+			bc.ErasedBitsMax += er
+		}
+		if bc.QatOps == 0 {
+			continue
+		}
+		r.Blocks = append(r.Blocks, bc)
+		if b.inLoop && bc.ErasedBitsMax > opts.HotErasedBits {
+			r.add(Diagnostic{Check: CheckHotBlock, Severity: Info,
+				Addr: bc.Start, Line: bc.Line,
+				Msg: fmt.Sprintf("loop block erases up to %d bits per iteration (budget %d): consider the reversible compilation",
+					bc.ErasedBitsMax, opts.HotErasedBits)})
+		}
+	}
+}

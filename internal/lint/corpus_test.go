@@ -1,0 +1,56 @@
+package lint_test
+
+// Corpus tests: the farmtest generator's 200 programs and every checked-in
+// assembly example must pass the analyzer at the CI gate (-severity error),
+// and the examples must be fully clean.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tangled/internal/farm/farmtest"
+	"tangled/internal/lint"
+)
+
+func TestFarmtestCorpusErrorFree(t *testing.T) {
+	for i := 0; i < farmtest.Programs; i++ {
+		src := farmtest.Generate(farmtest.Seed(i))
+		r, err := lint.AnalyzeSource(src, lint.Options{Ways: farmtest.Ways})
+		if err != nil {
+			t.Fatalf("program %d: assemble: %v", i, err)
+		}
+		if r.Errors > 0 {
+			for _, d := range r.Diags {
+				if d.Severity == lint.Error {
+					t.Errorf("program %d: %s", i, d)
+				}
+			}
+			t.Fatalf("program %d has %d lint errors; source:\n%s", i, r.Errors, src)
+		}
+	}
+}
+
+func TestExamplesLintClean(t *testing.T) {
+	files, err := filepath.Glob("../../examples/asm/*.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no assembly examples found under examples/asm")
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, aerr := lint.AnalyzeSource(string(src), lint.Options{})
+		if aerr != nil {
+			t.Errorf("%s: assemble: %v", f, aerr)
+			continue
+		}
+		for _, d := range r.Diags {
+			t.Errorf("%s: %s", filepath.Base(f), d)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package lint
+
+// Register dataflow over the reachable CFG: definite assignment (a forward
+// must-analysis, for use-before-def) and liveness (a backward may-analysis,
+// for dead stores). Both treat the 16 Tangled registers and the 256 Qat
+// registers uniformly through regset.
+
+import (
+	"fmt"
+
+	"tangled/internal/isa"
+)
+
+// regset is a bitset over the 16 Tangled registers and 256 Qat registers.
+type regset struct {
+	cpu uint16
+	qat [4]uint64
+}
+
+var fullSet = regset{
+	cpu: 0xFFFF,
+	qat: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+}
+
+var allCPUSet = regset{cpu: 0xFFFF}
+
+func (s *regset) addCPU(r uint8)     { s.cpu |= 1 << (r & 0xF) }
+func (s regset) hasCPU(r uint8) bool { return s.cpu&(1<<(r&0xF)) != 0 }
+func (s *regset) addQat(q uint8)     { s.qat[q>>6] |= 1 << (q & 63) }
+func (s regset) hasQat(q uint8) bool { return s.qat[q>>6]&(1<<(q&63)) != 0 }
+
+func (s regset) union(o regset) regset {
+	s.cpu |= o.cpu
+	for i := range s.qat {
+		s.qat[i] |= o.qat[i]
+	}
+	return s
+}
+
+func (s regset) intersect(o regset) regset {
+	s.cpu &= o.cpu
+	for i := range s.qat {
+		s.qat[i] &= o.qat[i]
+	}
+	return s
+}
+
+// diff removes o's members from s.
+func (s regset) diff(o regset) regset {
+	s.cpu &^= o.cpu
+	for i := range s.qat {
+		s.qat[i] &^= o.qat[i]
+	}
+	return s
+}
+
+func (s regset) eq(o regset) bool { return s == o }
+
+// defSet returns the registers an instruction writes.
+func defSet(in *instNode) regset {
+	var s regset
+	s.cpu = in.eff.WriteRegs
+	for i := uint8(0); i < in.eff.NQWrites; i++ {
+		s.addQat(in.eff.QWrites[i])
+	}
+	return s
+}
+
+// daUseSet returns the registers whose prior value the instruction's
+// behavior depends on, for definite assignment. sys is narrowed to $0 (the
+// service selector): flagging the halt idiom `lex $0,0; sys` for an unused
+// argument register would be noise.
+func daUseSet(in *instNode) regset {
+	var s regset
+	if in.inst.Op == isa.OpSys {
+		s.addCPU(0)
+		return s
+	}
+	s.cpu = in.eff.ReadRegs
+	if in.pairBr {
+		// Either half of a br pair lands at the same target whatever the
+		// condition register holds, so the pair does not observe it.
+		s.cpu &^= 1 << in.inst.RD
+	}
+	for i := uint8(0); i < in.eff.NQReads; i++ {
+		s.addQat(in.eff.QReads[i])
+	}
+	return s
+}
+
+// liveUseSet returns the registers an instruction may expose, for liveness.
+// sys conservatively uses every Tangled register: it may halt, and the final
+// register file is the run's observable output.
+func liveUseSet(in *instNode) regset {
+	s := daUseSet(in)
+	if in.inst.Op == isa.OpSys {
+		return s.union(allCPUSet)
+	}
+	return s
+}
+
+func regName(cpu bool, r uint8) string {
+	if cpu {
+		return fmt.Sprintf("$%d", r)
+	}
+	return fmt.Sprintf("@%d", r)
+}
+
+// forEachMember calls f(true, r) per CPU member and f(false, q) per Qat
+// member, in ascending register order.
+func (s regset) forEachMember(f func(cpu bool, r uint8)) {
+	for r := uint8(0); r < uint8(isa.NumRegs); r++ {
+		if s.hasCPU(r) {
+			f(true, r)
+		}
+	}
+	for w := 0; w < 4; w++ {
+		if s.qat[w] == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if s.qat[w]&(1<<b) != 0 {
+				f(false, uint8(w*64+b))
+			}
+		}
+	}
+}
+
+// entryID returns the block holding address 0 (-1 when none is reachable).
+func (g *cfg) entryID() int {
+	if id, ok := g.blockOf[0]; ok {
+		return id
+	}
+	return -1
+}
+
+// definiteAssignment computes, per reachable block, the set of registers
+// written on every path from entry to the block's start. The machine zeroes
+// registers at load, so "unassigned" means "reads as zero" — suspicious, not
+// fatal. On an imprecise graph, label-rooted blocks (possible indirect-call
+// targets) start from the full set so unknowable callers cause no false
+// positives; the real entry at address 0 starts empty.
+func (g *cfg) definiteAssignment() []regset {
+	n := len(g.blocks)
+	in := make([]regset, n)
+	out := make([]regset, n)
+	gen := make([]regset, n)
+	for i, b := range g.blocks {
+		in[i] = fullSet
+		for _, ins := range b.insts {
+			gen[i] = gen[i].union(defSet(ins))
+		}
+	}
+	entry := g.entryID()
+	if entry >= 0 {
+		in[entry] = regset{}
+	}
+	for i := range out {
+		out[i] = in[i].union(gen[i])
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i, b := range g.blocks {
+			ni := fullSet
+			if i == entry {
+				ni = regset{}
+			}
+			for _, p := range b.preds {
+				ni = ni.intersect(out[p])
+			}
+			if i == entry {
+				ni = regset{}
+			}
+			no := ni.union(gen[i])
+			if !ni.eq(in[i]) || !no.eq(out[i]) {
+				in[i], out[i] = ni, no
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// checkUseBeforeDef reports reads of registers no path has written: a read
+// Tangled register observes the loader's zero, and a measured Qat register
+// is a never-prepared pbit.
+func (g *cfg) checkUseBeforeDef(r *Report) {
+	if len(g.blocks) == 0 {
+		return
+	}
+	in := g.definiteAssignment()
+	for i, b := range g.blocks {
+		state := in[i]
+		for _, ins := range b.insts {
+			missing := daUseSet(ins).diff(state)
+			missing.forEachMember(func(cpuReg bool, reg uint8) {
+				var msg string
+				if cpuReg {
+					msg = fmt.Sprintf("%s reads %s before any write (the loader zeroes it)",
+						ins.inst.Op.Name(), regName(true, reg))
+				} else {
+					msg = fmt.Sprintf("%s uses %s but no instruction has prepared that pbit",
+						ins.inst.Op.Name(), regName(false, reg))
+				}
+				r.add(Diagnostic{Check: CheckUseBeforeDef, Severity: Warning,
+					Addr: ins.addr, Line: ins.line, Msg: msg})
+			})
+			state = state.union(defSet(ins))
+		}
+	}
+}
+
+// liveness computes per-block live-out sets. Exits the analysis cannot
+// follow (unresolved jumpr, transfers into non-instruction words) and the
+// corresponding blocks conservatively keep everything live.
+func (g *cfg) liveness() []regset {
+	n := len(g.blocks)
+	use := make([]regset, n)
+	def := make([]regset, n)
+	for i, b := range g.blocks {
+		for k := len(b.insts) - 1; k >= 0; k-- {
+			ins := b.insts[k]
+			d := defSet(ins)
+			use[i] = use[i].diff(d).union(liveUseSet(ins))
+			def[i] = def[i].union(d)
+		}
+	}
+	liveOut := make([]regset, n)
+	liveIn := make([]regset, n)
+	for i, b := range g.blocks {
+		last := b.insts[len(b.insts)-1]
+		switch {
+		case !b.exitsUnknown && g.haltAt[last.addr]:
+			// Certain halt: the Tangled register file is the run's output
+			// surface, but Qat state dies with the machine.
+			liveOut[i] = allCPUSet
+		case b.exitsUnknown || len(b.succs) == 0:
+			liveOut[i] = fullSet
+		}
+		liveIn[i] = use[i].union(liveOut[i].diff(def[i]))
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := g.blocks[i]
+			no := liveOut[i]
+			for _, s := range b.succs {
+				no = no.union(liveIn[s])
+			}
+			ni := use[i].union(no.diff(def[i]))
+			if !no.eq(liveOut[i]) || !ni.eq(liveIn[i]) {
+				liveOut[i], liveIn[i] = no, ni
+				changed = true
+			}
+		}
+	}
+	return liveOut
+}
+
+// checkDeadStores reports register writes whose value is overwritten before
+// any instruction reads it.
+func (g *cfg) checkDeadStores(r *Report) {
+	if len(g.blocks) == 0 {
+		return
+	}
+	liveOut := g.liveness()
+	for i, b := range g.blocks {
+		live := liveOut[i]
+		for k := len(b.insts) - 1; k >= 0; k-- {
+			ins := b.insts[k]
+			d := defSet(ins)
+			dead := d.diff(live)
+			dead.forEachMember(func(cpuReg bool, reg uint8) {
+				r.add(Diagnostic{Check: CheckDeadStore, Severity: Warning,
+					Addr: ins.addr, Line: ins.line,
+					Msg: fmt.Sprintf("value %s writes to %s is overwritten before any read",
+						ins.inst.Op.Name(), regName(cpuReg, reg))})
+			})
+			live = live.diff(d).union(liveUseSet(ins))
+		}
+	}
+}

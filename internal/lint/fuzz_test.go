@@ -1,0 +1,45 @@
+package lint_test
+
+// FuzzLint feeds arbitrary word images through the analyzer: it must never
+// panic, must terminate, and must be deterministic (two runs over the same
+// image produce identical reports).
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/lint"
+)
+
+func FuzzLint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x10})                         // lex $0, 16... truncated odd images are padded below
+	f.Add([]byte{0x12, 0xE0, 0x00, 0x00})             // sys-ish then zeros
+	f.Add([]byte{0x00, 0xA0})                         // illegal major opcode
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // all ones
+	f.Add([]byte{0x01, 0x80, 0x03, 0x02})             // two-word qat form
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<12 {
+			raw = raw[:1<<12]
+		}
+		words := make([]uint16, len(raw)/2)
+		for i := range words {
+			words[i] = uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
+		}
+		p := &asm.Program{Words: words}
+		r1 := lint.Analyze(p, lint.Options{})
+		r2 := lint.Analyze(p, lint.Options{})
+		b1, err1 := json.Marshal(r1)
+		b2, err2 := json.Marshal(r2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal: %v / %v", err1, err2)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("nondeterministic report:\n%s\n%s", b1, b2)
+		}
+		if len(words) == 0 && r1.Errors == 0 {
+			t.Fatal("empty image must be an error")
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 
 	"tangled/internal/aob"
 	"tangled/internal/farm"
+	"tangled/internal/lint"
 	"tangled/internal/pipeline"
 	"tangled/internal/qasm"
 )
@@ -103,8 +104,11 @@ type RunResult struct {
 
 // LineError is one assembler diagnostic in an ErrorResponse.
 type LineError struct {
-	Line int    `json:"line"`
-	Msg  string `json:"msg"`
+	Line int `json:"line"`
+	// Col is the 1-based byte column of the offending token, 0 when the
+	// assembler could not attribute the failure to one token.
+	Col int    `json:"col,omitempty"`
+	Msg string `json:"msg"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.
@@ -113,6 +117,9 @@ type ErrorResponse struct {
 	// Lines carries assembler diagnostics with 1-based source lines when
 	// the failure was an assembly error (HTTP 400).
 	Lines []LineError `json:"lines,omitempty"`
+	// Lint carries the static-analysis findings when a strict-mode server
+	// refused the program (HTTP 422) before admission.
+	Lint []lint.Diagnostic `json:"lint,omitempty"`
 	// RetryAfterMs hints when to retry a 429/503; the Retry-After header
 	// carries the same figure in whole seconds.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
@@ -153,6 +160,12 @@ type BuildInfo struct {
 // AssembleRequest is the body of POST /v1/assemble.
 type AssembleRequest struct {
 	Src string `json:"src"`
+	// Lint asks the server to run the static analyzer on the assembled
+	// program and attach the report to the response.
+	Lint bool `json:"lint,omitempty"`
+	// Ways is the entanglement degree the lint energy estimates assume;
+	// 0 means the full hardware.
+	Ways int `json:"ways,omitempty"`
 }
 
 // AssembleResponse is the success body of POST /v1/assemble.
@@ -162,6 +175,9 @@ type AssembleResponse struct {
 	Words []uint16 `json:"words"`
 	// Symbols maps labels to word addresses.
 	Symbols map[string]uint16 `json:"symbols,omitempty"`
+	// Lint is the static-analysis report, present when the request set
+	// Lint.
+	Lint *lint.Report `json:"lint,omitempty"`
 }
 
 // validate checks a RunRequest and resolves it into a farm job skeleton

@@ -29,7 +29,7 @@ const (
 // statusLabels are the statuses the server can produce; unexpected codes
 // fold onto their class ("2xx".."5xx" would lose 429 vs 400, so the known
 // set is explicit).
-var statusLabels = []string{"200", "400", "404", "405", "413", "429", "499", "500", "503", "504"}
+var statusLabels = []string{"200", "400", "404", "405", "413", "422", "429", "499", "500", "503", "504"}
 
 // requestLatencyBuckets span HTTP round-trips from sub-millisecond cached
 // replies to multi-second deep batches.
@@ -54,6 +54,7 @@ type serverObs struct {
 
 	rejected429 *obs.Counter // admissions refused for a full queue
 	idempHits   *obs.Counter // /v1/run responses replayed from the ID cache
+	lintRejects *obs.Counter // programs refused by strict lint before admission
 }
 
 // newServerObs registers the serving metric set on r. A nil registry yields
@@ -80,6 +81,8 @@ func newServerObs(r *obs.Registry) *serverObs {
 			"requests refused with 429 because the queue was full"),
 		idempHits: r.Counter("server_idempotent_replays_total",
 			"/v1/run responses replayed from the request-ID cache"),
+		lintRejects: r.Counter("server_lint_rejects_total",
+			"programs refused with 422 by strict lint before admission"),
 	}
 }
 
@@ -92,5 +95,15 @@ func (so *serverObs) observeStatus(code int) {
 			return
 		}
 	}
-	so.responses.At(7).Inc() // "500"
+	so.responses.At(statusFallback).Inc()
 }
+
+// statusFallback indexes "500" in statusLabels.
+var statusFallback = func() int {
+	for i, l := range statusLabels {
+		if l == "500" {
+			return i
+		}
+	}
+	panic("statusLabels lacks 500")
+}()

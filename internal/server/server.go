@@ -48,6 +48,7 @@ import (
 	"tangled/internal/aob"
 	"tangled/internal/asm"
 	"tangled/internal/farm"
+	"tangled/internal/lint"
 	"tangled/internal/obs"
 	"tangled/internal/qasm"
 )
@@ -77,6 +78,13 @@ type Config struct {
 	// IdempotencyCap bounds the /v1/run response replay cache; <= 0 means
 	// 1024 entries, < 0 after normalization disables it.
 	IdempotencyCap int
+
+	// StrictLint runs the static analyzer over every submitted program and
+	// refuses those with error-severity findings (cannot halt, illegal
+	// instructions, inescapable loops) with 422 before admission, so
+	// certainly-broken programs never consume a farm slot or a step
+	// budget. The findings come back in ErrorResponse.Lint.
+	StrictLint bool
 
 	// Registry, when non-nil, receives the serving metric set and the farm
 	// fleet's counters, and mounts the obs debug face on the server's mux.
@@ -373,9 +381,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeUnavailable(w)
 		return
 	}
-	job, errResp := s.buildJob(&req, id, r.Context())
+	job, failStatus, errResp := s.buildJob(&req, id, r.Context())
 	if errResp != nil {
-		s.writeError(w, http.StatusBadRequest, *errResp)
+		s.writeError(w, failStatus, *errResp)
 		return
 	}
 	if !s.admit(1) {
@@ -430,10 +438,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if ids[i] == "" {
 			ids[i] = fmt.Sprintf("%s/%d", batchID, i)
 		}
-		job, errResp := s.buildJob(p, ids[i], r.Context())
+		job, failStatus, errResp := s.buildJob(p, ids[i], r.Context())
 		if errResp != nil {
 			errResp.Error = fmt.Sprintf("program %d: %s", i, errResp.Error)
-			s.writeError(w, http.StatusBadRequest, *errResp)
+			s.writeError(w, failStatus, *errResp)
 			return
 		}
 		jobs[i] = job
@@ -484,7 +492,11 @@ func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, assembleErrorResponse(err))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, AssembleResponse{Words: prog.Words, Symbols: prog.Symbols})
+	resp := AssembleResponse{Words: prog.Words, Symbols: prog.Symbols}
+	if req.Lint {
+		resp.Lint = lint.Analyze(prog, lint.Options{Ways: req.Ways})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz reports liveness and the admission picture; 503 while
@@ -534,20 +546,38 @@ func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
 
 // buildJob resolves one RunRequest into a farm job, assembling source here
 // so diagnostics surface as a 400 with line info instead of a failed job.
-func (s *Server) buildJob(req *RunRequest, id string, reqCtx context.Context) (farm.Job, *ErrorResponse) {
+// On failure the returned status is 400, or 422 when a strict-lint server
+// refused a statically broken program.
+func (s *Server) buildJob(req *RunRequest, id string, reqCtx context.Context) (farm.Job, int, *ErrorResponse) {
 	if err := req.validate(); err != nil {
-		return farm.Job{}, &ErrorResponse{Error: err.Error()}
+		return farm.Job{}, http.StatusBadRequest, &ErrorResponse{Error: err.Error()}
 	}
 	var prog *asm.Program
 	if req.Src != "" {
 		p, err := asm.Assemble(req.Src)
 		if err != nil {
 			resp := assembleErrorResponse(err)
-			return farm.Job{}, &resp
+			return farm.Job{}, http.StatusBadRequest, &resp
 		}
 		prog = p
 	} else {
 		prog = &asm.Program{Words: append([]uint16(nil), req.Words...)}
+	}
+	if s.cfg.StrictLint {
+		report := lint.Analyze(prog, lint.Options{Ways: req.Ways})
+		if report.Errors > 0 {
+			s.obs.lintRejects.Inc()
+			var diags []lint.Diagnostic
+			for _, d := range report.Diags {
+				if d.Severity == lint.Error {
+					diags = append(diags, d)
+				}
+			}
+			return farm.Job{}, http.StatusUnprocessableEntity, &ErrorResponse{
+				Error: fmt.Sprintf("program %q rejected by strict lint: %d error finding(s)", id, report.Errors),
+				Lint:  diags,
+			}
+		}
 	}
 	job := farm.Job{
 		Name:     id,
@@ -567,7 +597,7 @@ func (s *Server) buildJob(req *RunRequest, id string, reqCtx context.Context) (f
 		job.Ways = req.Ways
 		job.ConstantRegs = req.ConstRegs
 	}
-	return job, nil
+	return job, 0, nil
 }
 
 // codeForRunError classifies an execution failure into a record code.
@@ -588,12 +618,12 @@ func assembleErrorResponse(err error) ErrorResponse {
 	var list asm.ErrorList
 	if errors.As(err, &list) {
 		for _, e := range list {
-			resp.Lines = append(resp.Lines, LineError{Line: e.Line, Msg: e.Msg})
+			resp.Lines = append(resp.Lines, LineError{Line: e.Line, Col: e.Col, Msg: e.Msg})
 		}
 	} else {
 		var one asm.Error
 		if errors.As(err, &one) {
-			resp.Lines = []LineError{{Line: one.Line, Msg: one.Msg}}
+			resp.Lines = []LineError{{Line: one.Line, Col: one.Col, Msg: one.Msg}}
 		}
 	}
 	return resp

@@ -141,7 +141,7 @@ func TestAssemblyError400WithLineInfo(t *testing.T) {
 func TestValidation400(t *testing.T) {
 	_, base := startTestServer(t, Config{})
 	bad := []RunRequest{
-		{},                                   // neither src nor words
+		{},                                      // neither src nor words
 		{Src: "lex $1,1\n", Words: []uint16{1}}, // both
 		{Src: "lex $1,1\n", Mode: "quantum"},    // unknown mode
 		{Src: "lex $1,1\n", Stages: 4},          // stages without pipelined

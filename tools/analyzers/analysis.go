@@ -1,0 +1,136 @@
+// Package analyzers enforces repository-wide Go invariants with a small
+// go/analysis-style framework built only on the standard library's go/ast
+// and go/parser (the container this repo builds in has no golang.org/x/tools,
+// so the real go/analysis API is off the table; the shape here mirrors it so
+// analyzers port over directly if that dependency ever lands).
+//
+// An Analyzer inspects one parsed file at a time — purely syntactic, no type
+// information — and reports Findings. The driver (cmd/repolint) walks the
+// repository, and the package's own tests run every analyzer over the live
+// tree, so `go test ./...` fails when an invariant regresses.
+//
+// Current invariants:
+//
+//   - atomicscope: sync/atomic stays confined to the packages that own
+//     concurrency primitives (see atomicAllowed); everything else uses
+//     channels, sync, or the obs counters.
+//   - ctxbackground: a function that receives a context.Context must not
+//     manufacture context.Background()/context.TODO() — the caller's
+//     context (deadlines, cancellation) has to propagate into run loops.
+//     A call deliberately detaching work may carry a trailing
+//     "// detached:" comment naming why.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	// Path is the file, relative to the walked root, slash-separated.
+	Path string
+	Line int
+	Col  int
+	// Analyzer names the check; Msg explains the violation.
+	Analyzer string
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Path, f.Line, f.Col, f.Analyzer, f.Msg)
+}
+
+// File is one parsed source file handed to analyzers.
+type File struct {
+	// Path is relative to the walked root, slash-separated.
+	Path string
+	Fset *token.FileSet
+	AST  *ast.File
+}
+
+// pos converts a token position into a Finding location.
+func (f *File) finding(analyzer string, p token.Pos, format string, args ...interface{}) Finding {
+	pos := f.Fset.Position(p)
+	return Finding{
+		Path:     f.Path,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: analyzer,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+// Analyzer is one syntactic invariant.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Check inspects one file and returns its violations.
+	Check func(f *File) []Finding
+}
+
+// All returns every repository analyzer.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicScope, CtxBackground}
+}
+
+// Run parses every .go file under root (skipping vendor-ish and VCS
+// directories and each analyzer package's testdata) and applies the
+// analyzers. Findings come back sorted by position; a parse failure is an
+// error — the tree is expected to build.
+func Run(root string, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == "vendor" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		f := &File{Path: rel, Fset: fset, AST: astf}
+		for _, a := range analyzers {
+			findings = append(findings, a.Check(f)...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,45 @@
+package analyzers
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFixtureTree pins every analyzer against the testdata tree: exact
+// paths, lines and analyzer names.
+func TestFixtureTree(t *testing.T) {
+	findings, err := Run("testdata/tree", All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%s:%d %s", f.Path, f.Line, f.Analyzer))
+	}
+	want := []string{
+		"cmd/tool/ctx.go:8 ctxbackground",
+		"cmd/tool/ctx.go:13 ctxbackground",
+		"internal/qat/bad.go:4 atomicscope",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings:\n  got  %v\n  want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("finding %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRepositoryInvariants runs every analyzer over the live tree, so a
+// regression anywhere in the repository fails `go test ./...` — the same
+// gate CI applies through cmd/repolint.
+func TestRepositoryInvariants(t *testing.T) {
+	findings, err := Run("../..", All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

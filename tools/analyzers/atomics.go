@@ -1,0 +1,50 @@
+package analyzers
+
+import (
+	"strconv"
+	"strings"
+)
+
+// atomicAllowed lists the directory prefixes permitted to import
+// sync/atomic: the packages that own a concurrency primitive (metric cells,
+// the farm's work counters, the server's drain/queue state, the client's
+// and load tool's progress counters). Everywhere else lock-free cleverness
+// is a review hazard — use channels, sync, or an obs counter, or extend
+// this list deliberately in the same change that adds the primitive.
+var atomicAllowed = []string{
+	"internal/obs",
+	"internal/farm",
+	"internal/server",
+	"internal/client",
+	"cmd/qatclient",
+}
+
+// AtomicScope flags sync/atomic imports outside the allowlist.
+var AtomicScope = &Analyzer{
+	Name: "atomicscope",
+	Doc:  "confine sync/atomic to the packages that own concurrency primitives",
+	Check: func(f *File) []Finding {
+		dir := f.Path
+		if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+			dir = dir[:i]
+		} else {
+			dir = "."
+		}
+		for _, ok := range atomicAllowed {
+			if dir == ok || strings.HasPrefix(dir, ok+"/") {
+				return nil
+			}
+		}
+		var out []Finding
+		for _, imp := range f.AST.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "sync/atomic" {
+				continue
+			}
+			out = append(out, f.finding("atomicscope", imp.Pos(),
+				"sync/atomic import outside the allowed packages (%s): use channels, sync, or an obs counter, or extend the allowlist deliberately",
+				strings.Join(atomicAllowed, ", ")))
+		}
+		return out
+	},
+}

@@ -1,0 +1,39 @@
+// repolint runs the repository's custom Go analyzers (tools/analyzers)
+// over a source tree and prints one line per finding.
+//
+// Usage:
+//
+//	repolint [root]
+//
+// The root defaults to ".". Exit status: 0 clean, 1 findings, 2 errors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tangled/tools/analyzers"
+)
+
+func main() {
+	root := "."
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		root = os.Args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: repolint [root]")
+		os.Exit(2)
+	}
+	findings, err := analyzers.Run(root, analyzers.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CtxBackground flags context.Background()/context.TODO() calls inside
+// functions that already receive a context.Context: the incoming context
+// carries the request's deadline and cancellation, and manufacturing a
+// fresh root silently detaches the work from both. Two escapes are
+// recognized: the nil-defaulting idiom `ctx = context.Background()` that
+// re-roots the received parameter itself, and a same-line "// detached:"
+// comment naming why work must outlive the caller.
+var CtxBackground = &Analyzer{
+	Name: "ctxbackground",
+	Doc:  "propagate the received context.Context instead of context.Background()/TODO()",
+	Check: func(f *File) []Finding {
+		var out []Finding
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			params := ctxParamNames(fn.Type)
+			if len(params) == 0 {
+				continue
+			}
+			defaulting := map[*ast.CallExpr]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					// ctx = context.Background() re-roots the parameter —
+					// the nil-default idiom, not a detachment.
+					if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+						if id, ok := as.Lhs[0].(*ast.Ident); ok && params[id.Name] {
+							if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+								defaulting[call] = true
+							}
+						}
+					}
+					return true
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || pkg.Name != "context" {
+					return true
+				}
+				if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+					return true
+				}
+				if defaulting[call] || detachedOnLine(f, call.Pos()) {
+					return true
+				}
+				out = append(out, f.finding("ctxbackground", call.Pos(),
+					"context.%s() inside a function receiving a context.Context: propagate the parameter (or mark the call \"// detached: <why>\")",
+					sel.Sel.Name))
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// ctxParamNames returns the names of the signature's context.Context
+// parameters (empty when there are none).
+func ctxParamNames(ft *ast.FuncType) map[string]bool {
+	if ft.Params == nil {
+		return nil
+	}
+	var names map[string]bool
+	for _, field := range ft.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "context" || sel.Sel.Name != "Context" {
+			continue
+		}
+		if names == nil {
+			names = map[string]bool{}
+		}
+		for _, n := range field.Names {
+			names[n.Name] = true
+		}
+	}
+	return names
+}
+
+// detachedOnLine reports whether a "// detached:" comment sits on the same
+// line as pos.
+func detachedOnLine(f *File, pos token.Pos) bool {
+	line := f.Fset.Position(pos).Line
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if f.Fset.Position(c.Pos()).Line == line && strings.Contains(c.Text, "detached:") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+// Package main exercises every ctxbackground case.
+package main
+
+import "context"
+
+func fresh(ctx context.Context) error { // finding: line 8
+	_ = ctx
+	sub := context.Background()
+	return sub.Err()
+}
+
+func todo(ctx context.Context) error { // finding: line 13
+	sub := context.TODO()
+	_ = ctx
+	return sub.Err()
+}
+
+func nilDefault(ctx context.Context) error { // ok: re-roots the parameter
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err()
+}
+
+func annotated(ctx context.Context) error { // ok: deliberate detachment
+	_ = ctx
+	audit := context.Background() // detached: audit log must survive request cancellation
+	return audit.Err()
+}
+
+func noCtx() error { // ok: no context parameter to propagate
+	return context.Background().Err()
+}
+
+func main() {}

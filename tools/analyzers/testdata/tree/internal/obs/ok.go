@@ -1,0 +1,7 @@
+// Package obs may use sync/atomic: it owns the concurrency primitives.
+package obs
+
+import "sync/atomic"
+
+// V is a counter cell.
+var V atomic.Uint64

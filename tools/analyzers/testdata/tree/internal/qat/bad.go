@@ -1,0 +1,7 @@
+// Package qat must not import sync/atomic (line 4 is the finding).
+package qat
+
+import "sync/atomic"
+
+// N is a sneaky lock-free counter.
+var N atomic.Int64
