@@ -10,7 +10,7 @@
 //	qatclient -server URL health
 //	qatclient -server URL buildinfo
 //	qatclient -server URL -load N [-concurrency C] [-batch-frac F]
-//	          [-saturate] [-out BENCH_server.json]
+//	          [-memo] [-saturate] [-out BENCH_server.json]
 //
 // Examples:
 //
@@ -24,7 +24,10 @@
 // status, throughput, and the client-observed latency distribution.
 // -saturate adds a deliberate burst against a tiny admission queue to
 // exercise the 429 path; those rejections are reported separately and do
-// not count as failures.
+// not count as failures. -memo skews the mix to ~90% repeats of a hot
+// program set — the shape that exercises the server's execution cache —
+// and the report's cached_results field counts how many results came back
+// with the cached flag (tallied whether or not -memo is set).
 package main
 
 import (
@@ -52,6 +55,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "load mode: concurrent workers")
 	batchFrac := flag.Float64("batch-frac", 0.25, "load mode: fraction of requests sent as /v1/batch")
 	saturate := flag.Bool("saturate", false, "load mode: add a burst phase expecting 429 backpressure")
+	memoMix := flag.Bool("memo", false, "load mode: ~90%-repeat mix that exercises the server's execution cache")
 	out := flag.String("out", "BENCH_server.json", "load mode: report file (\"-\" for stdout)")
 	mode := flag.String("mode", "functional", "run: execution mode (functional or pipelined)")
 	ways := flag.Int("ways", 0, "run: entanglement degree (0 = full hardware)")
@@ -63,7 +67,7 @@ func main() {
 
 	c := client.New(*serverURL)
 	if *load > 0 {
-		if err := runLoad(c, *load, *concurrency, *batchFrac, *saturate, *out, *serverURL); err != nil {
+		if err := runLoad(c, *load, *concurrency, *batchFrac, *memoMix, *saturate, *out, *serverURL); err != nil {
 			fmt.Fprintf(os.Stderr, "qatclient: %v\n", err)
 			os.Exit(1)
 		}
@@ -168,6 +172,10 @@ type benchReport struct {
 	Programs  int64 `json:"programs"`
 	Rejected  int64 `json:"saturation_429s"`
 	Saturated bool  `json:"saturate_phase"`
+	// MemoMix records whether -memo shaped the request stream; Cached
+	// counts program results the server answered from its execution cache.
+	MemoMix bool  `json:"memo_mix"`
+	Cached  int64 `json:"cached_results"`
 
 	WallSeconds float64 `json:"wall_seconds"`
 	ReqPerSec   float64 `json:"req_per_sec"`
@@ -182,17 +190,24 @@ type benchReport struct {
 // runLoad fires total requests from conc workers: a mixed stream of single
 // runs and small batches over the shared corpus, every program's result
 // checked for an execution error.
-func runLoad(c *client.Client, total, conc int, batchFrac float64, saturate bool, outPath, serverURL string) error {
+func runLoad(c *client.Client, total, conc int, batchFrac float64, memoMix, saturate bool, outPath, serverURL string) error {
 	if conc < 1 {
 		conc = 1
 	}
 	// Pre-generate the program mix so workers only do I/O under timing.
-	srcs := make([]string, 32)
+	// With -memo the hot set shrinks and every tenth request gets a program
+	// no other request shares, approximating a 90%-repeat serving stream.
+	hot := 32
+	if memoMix {
+		hot = 8
+	}
+	srcs := make([]string, hot)
 	for i := range srcs {
 		srcs[i] = farmtest.Generate(farmtest.Seed(i))
 	}
+	unique := func(i int) string { return farmtest.Generate(farmtest.Seed(10_000 + i)) }
 
-	var ok, failed, programs atomic.Int64
+	var ok, failed, programs, cached atomic.Int64
 	latencies := make([]float64, total) // ms, indexed by request number
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -205,7 +220,7 @@ func runLoad(c *client.Client, total, conc int, batchFrac float64, saturate bool
 			defer wg.Done()
 			for i := range next {
 				t0 := time.Now()
-				err := doOne(ctx, c, i, srcs, batchFrac, &programs)
+				err := doOne(ctx, c, i, srcs, unique, memoMix, batchFrac, &programs, &cached)
 				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
 				if err != nil {
 					failed.Add(1)
@@ -250,6 +265,8 @@ func runLoad(c *client.Client, total, conc int, batchFrac float64, saturate bool
 		Programs:    programs.Load(),
 		Rejected:    rejected,
 		Saturated:   saturate,
+		MemoMix:     memoMix,
+		Cached:      cached.Load(),
 		WallSeconds: wall.Seconds(),
 		ReqPerSec:   float64(total) / wall.Seconds(),
 		ProgPerSec:  float64(programs.Load()) / wall.Seconds(),
@@ -275,8 +292,8 @@ func runLoad(c *client.Client, total, conc int, batchFrac float64, saturate bool
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"qatclient: %d ok, %d failed, %d programs in %.2fs (%.1f req/s, %.1f prog/s), p50 %.1fms p99 %.1fms\n",
-		report.OK, report.Failed, report.Programs, report.WallSeconds,
+		"qatclient: %d ok, %d failed, %d programs (%d cached) in %.2fs (%.1f req/s, %.1f prog/s), p50 %.1fms p99 %.1fms\n",
+		report.OK, report.Failed, report.Programs, report.Cached, report.WallSeconds,
 		report.ReqPerSec, report.ProgPerSec, report.LatencyMsP50, report.LatencyMsP99)
 	if failed.Load() > 0 {
 		return fmt.Errorf("%d of %d requests failed", failed.Load(), total)
@@ -285,18 +302,29 @@ func runLoad(c *client.Client, total, conc int, batchFrac float64, saturate bool
 }
 
 // doOne sends request i: mostly single runs, every 1/batchFrac-th a small
-// batch, ways and source rotating through the corpus.
-func doOne(ctx context.Context, c *client.Client, i int, srcs []string, batchFrac float64, programs *atomic.Int64) error {
+// batch, ways and source rotating through the corpus. With memoMix every
+// tenth program slot draws a never-repeated source instead of the hot set.
+func doOne(ctx context.Context, c *client.Client, i int, srcs []string, unique func(int) string,
+	memoMix bool, batchFrac float64, programs, cached *atomic.Int64) error {
+	src := func(k int) string {
+		if memoMix && (i+k)%10 == 9 {
+			return unique(i + k)
+		}
+		return srcs[(i+k)%len(srcs)]
+	}
 	isBatch := batchFrac > 0 && int(1/batchFrac) > 0 && i%int(1/batchFrac) == 0
 	if !isBatch {
 		res, err := c.Run(ctx, server.RunRequest{
-			Src:  srcs[i%len(srcs)],
+			Src:  src(0),
 			Ways: farmtest.Ways,
 		})
 		if err != nil {
 			return err
 		}
 		programs.Add(1)
+		if res.Cached {
+			cached.Add(1)
+		}
 		if res.Error != "" {
 			return fmt.Errorf("run result: %s", res.Error)
 		}
@@ -306,7 +334,7 @@ func doOne(ctx context.Context, c *client.Client, i int, srcs []string, batchFra
 	batch := server.BatchRequest{Programs: make([]server.RunRequest, n)}
 	for k := 0; k < n; k++ {
 		batch.Programs[k] = server.RunRequest{
-			Src:  srcs[(i+k)%len(srcs)],
+			Src:  src(k),
 			Ways: farmtest.Ways,
 		}
 	}
@@ -316,6 +344,9 @@ func doOne(ctx context.Context, c *client.Client, i int, srcs []string, batchFra
 	}
 	programs.Add(int64(len(results)))
 	for _, r := range results {
+		if r.Cached {
+			cached.Add(1)
+		}
 		if r.Error != "" {
 			return fmt.Errorf("batch result %d: %s", r.Index, r.Error)
 		}

@@ -1,0 +1,168 @@
+package main
+
+// The -bench-memo mode: quantify what the content-addressed execution cache
+// (internal/memo) buys on a repeated workload. The mix models a serving
+// fleet's steady state — a hot set of programs resubmitted over and over
+// with a trickle of fresh ones: 20 distinct programs from the shared random
+// corpus, each submitted 10 times per batch (200 jobs, 90% repeats). The
+// same mix is timed with the cache off and on; with it on, a fresh cache is
+// installed before every batch so each timed iteration pays exactly the
+// steady-state ratio (20 misses that execute, 180 hits that replay).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tangled/internal/asm"
+	"tangled/internal/compile"
+	"tangled/internal/farm"
+	"tangled/internal/memo"
+)
+
+// memoBenchReport is the schema of BENCH_memo.json.
+type memoBenchReport struct {
+	Benchmark  string `json:"benchmark"`
+	Generated  string `json:"generated"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Note       string `json:"note"`
+
+	Workers          int     `json:"workers"`
+	DistinctPrograms int     `json:"distinct_programs"`
+	JobsPerBatch     int     `json:"jobs_per_batch"`
+	RepeatFraction   float64 `json:"repeat_fraction"`
+
+	MemoOff memoBenchPoint `json:"memo_off"`
+	MemoOn  memoBenchPoint `json:"memo_on"`
+	// Speedup is memo-on jobs/s over memo-off jobs/s on the same mix — the
+	// headline figure the CI bench guard gates on.
+	Speedup float64 `json:"speedup"`
+}
+
+type memoBenchPoint struct {
+	Jobs       uint64  `json:"jobs"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// memoBenchJobs builds the 90%-repeat mix: distinct programs each submitted
+// repeats times, interleaved so identical jobs land across the whole batch
+// rather than back to back. The programs are subset-sum searches with
+// distinct targets — a real Qat workload heavy enough that execution cost,
+// not farm dispatch, is what the cache is up against.
+func memoBenchJobs(distinct, repeats int) ([]farm.Job, error) {
+	items := []uint64{3, 5, 9, 14, 20, 27, 33, 41, 52, 60, 71, 85}
+	const ways = 12
+	progs := make([]*asm.Program, distinct)
+	for i := range progs {
+		art, err := compile.SubsetSumProgram(items, uint64(40+i), ways, compile.Options{Reuse: true})
+		if err != nil {
+			return nil, fmt.Errorf("subset-sum target %d: %w", 40+i, err)
+		}
+		p, err := asm.Assemble(art.Asm)
+		if err != nil {
+			return nil, fmt.Errorf("subset-sum target %d: %w", 40+i, err)
+		}
+		progs[i] = p
+	}
+	jobs := make([]farm.Job, distinct*repeats)
+	for i := range jobs {
+		jobs[i] = farm.Job{
+			Name: fmt.Sprintf("mix-%d", i),
+			Prog: progs[i%distinct],
+			Mode: farm.Functional,
+			Ways: ways,
+		}
+	}
+	return jobs, nil
+}
+
+// measureMemo loops the mix until minDuration elapses. With the cache
+// enabled, a fresh cache per batch keeps every iteration at the same
+// miss/hit ratio instead of converging to 100% hits.
+func measureMemo(jobs []farm.Job, workers int, minDuration time.Duration, withMemo bool) (memoBenchPoint, error) {
+	engine := farm.New(workers)
+	if _, warm := engine.Run(context.Background(), jobs[:len(jobs)/10]); warm.Errors > 0 {
+		return memoBenchPoint{}, fmt.Errorf("warmup batch had %d failures", warm.Errors)
+	}
+	var total farm.Stats
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		if withMemo {
+			engine.SetMemo(memo.New(0))
+		}
+		_, st := engine.Run(context.Background(), jobs)
+		if st.Errors > 0 {
+			return memoBenchPoint{}, fmt.Errorf("batch had %d failures", st.Errors)
+		}
+		total.Jobs += st.Jobs
+		total.MemoHits += st.MemoHits
+	}
+	elapsed := time.Since(start)
+	return memoBenchPoint{
+		Jobs:       total.Jobs,
+		Seconds:    elapsed.Seconds(),
+		JobsPerSec: float64(total.Jobs) / elapsed.Seconds(),
+		HitRate:    float64(total.MemoHits) / float64(total.Jobs),
+	}, nil
+}
+
+func runBenchMemo(path string, workers int) error {
+	const (
+		distinct = 20
+		repeats  = 10
+	)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs, err := memoBenchJobs(distinct, repeats)
+	if err != nil {
+		return err
+	}
+
+	off, err := measureMemo(jobs, workers, 700*time.Millisecond, false)
+	if err != nil {
+		return fmt.Errorf("memo off: %w", err)
+	}
+	fmt.Printf("memo off: %10.0f jobs/s\n", off.JobsPerSec)
+	on, err := measureMemo(jobs, workers, 700*time.Millisecond, true)
+	if err != nil {
+		return fmt.Errorf("memo on: %w", err)
+	}
+	fmt.Printf("memo on:  %10.0f jobs/s (hit rate %.0f%%)\n", on.JobsPerSec, 100*on.HitRate)
+
+	rep := memoBenchReport{
+		Benchmark:  "MemoRepeatedWorkload",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "identical 90%-repeat job mix timed with the execution cache off and on; " +
+			"a fresh cache per batch keeps each timed iteration at the steady-state miss/hit ratio",
+		Workers:          workers,
+		DistinctPrograms: distinct,
+		JobsPerBatch:     len(jobs),
+		RepeatFraction:   1 - float64(distinct)/float64(distinct*repeats),
+		MemoOff:          off,
+		MemoOn:           on,
+		Speedup:          on.JobsPerSec / off.JobsPerSec,
+	}
+	fmt.Printf("speedup:  %.1fx\n", rep.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

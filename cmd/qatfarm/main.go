@@ -7,9 +7,10 @@
 // Usage:
 //
 //	qatfarm [-workers N] [-stages N] [-ways N] [-abits N] [-bbits N]
-//	        [-reuse] [-const-regs] [-timeout D]
+//	        [-reuse] [-const-regs] [-memo] [-timeout D]
 //	        [-metrics FILE] [-http ADDR] [-trace FILE] n1 [n2 ...]
 //	qatfarm -bench [-out BENCH_farm.json]
+//	qatfarm -bench-memo [-workers N] [-out BENCH_memo.json]
 //
 // Examples:
 //
@@ -33,6 +34,13 @@
 // search on the functional machine) at worker counts 1/2/4/NumCPU, and
 // writes jobs/s per worker count to a JSON file so future changes have a
 // recorded perf trajectory.
+//
+// -memo attaches the content-addressed execution cache (internal/memo) to
+// the engine, so resubmitting an identical program replays the recorded
+// outcome instead of re-executing; the farm stats line reports the hits.
+// The -bench-memo mode measures that: a 90%-repeat job mix (each distinct
+// program submitted ten times) timed with the cache off and on, written to
+// BENCH_memo.json with the off-vs-on speedup as the headline figure.
 package main
 
 import (
@@ -49,6 +57,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/compile"
 	"tangled/internal/farm"
+	"tangled/internal/memo"
 	"tangled/internal/obs"
 	"tangled/internal/pipeline"
 	"tangled/internal/qasm"
@@ -62,16 +71,30 @@ func main() {
 	bBits := flag.Int("bbits", 0, "second operand bits (default abits)")
 	reuse := flag.Bool("reuse", true, "recycle Qat registers (needed beyond ~5x5 bits)")
 	constRegs := flag.Bool("const-regs", false, "use the Section 5 constant-register bank")
+	useMemo := flag.Bool("memo", false, "memoize executions in a content-addressed cache")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the batch (0 = none)")
 	bench := flag.Bool("bench", false, "run the throughput sweep and write the regression file")
-	out := flag.String("out", "BENCH_farm.json", "output file for -bench")
+	benchMemo := flag.Bool("bench-memo", false, "benchmark the execution cache on a 90%-repeat mix")
+	out := flag.String("out", "", "output file for -bench/-bench-memo (defaults BENCH_farm.json / BENCH_memo.json)")
 	metricsOut := flag.String("metrics", "", "write Prometheus text metrics to FILE after the run (- for stdout)")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on ADDR during the run")
 	traceOut := flag.String("trace", "", "write the pipeline cycle trace as JSONL to FILE")
 	flag.Parse()
 
 	if *bench {
+		if *out == "" {
+			*out = "BENCH_farm.json"
+		}
 		if err := runBench(*out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchMemo {
+		if *out == "" {
+			*out = "BENCH_memo.json"
+		}
+		if err := runBenchMemo(*out, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -129,6 +152,11 @@ func main() {
 			o.Trace = ring
 		}
 		engine.SetObs(o)
+	}
+	if *useMemo {
+		cache := memo.New(0)
+		cache.SetObs(memo.NewObs(reg)) // nil registry: counters stay off
+		engine.SetMemo(cache)
 	}
 	if *httpAddr != "" {
 		srv, addr, err := obs.Serve(*httpAddr, reg)

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	qatserver [-addr HOST:PORT] [-workers N] [-queue N]
-//	          [-batch-window D] [-batch-max N]
+//	          [-batch-window D] [-batch-max N] [-memo-cap N]
 //	          [-metrics FILE] [-trace FILE] [-drain-timeout D] [-quiet]
 //
 // Examples:
@@ -46,6 +46,7 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue limit (default 256)")
 	batchWindow := flag.Duration("batch-window", 0, "coalescer latency window (default 2ms)")
 	batchMax := flag.Int("batch-max", 0, "max jobs per coalesced/chunked batch (default 64)")
+	memoCap := flag.Int("memo-cap", 0, "execution cache capacity in programs (default 4096, negative disables)")
 	metricsOut := flag.String("metrics", "", "write Prometheus text to FILE at shutdown (\"-\" for stdout)")
 	traceOut := flag.String("trace", "", "write the cycle trace as JSONL to FILE at shutdown")
 	portFile := flag.String("port-file", "", "write the bound address to FILE once listening (for -addr :0 scripting)")
@@ -74,6 +75,7 @@ func main() {
 		QueueLimit:  *queue,
 		BatchWindow: *batchWindow,
 		BatchMax:    *batchMax,
+		MemoCap:     *memoCap,
 		StrictLint:  *strictLint,
 		Registry:    reg,
 		Trace:       ring,

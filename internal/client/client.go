@@ -212,11 +212,38 @@ func retryAfterOf(resp *http.Response, apiErr *APIError) time.Duration {
 		return time.Duration(apiErr.Resp.RetryAfterMs) * time.Millisecond
 	}
 	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil {
-			return time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(s, time.Now()); ok {
+			return d
 		}
 	}
 	return 0
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either a non-negative decimal delta in seconds, or an HTTP-date
+// (RFC 1123, RFC 850, or ANSI C asctime — http.ParseTime tries all three).
+// Negative deltas and dates already in the past clamp to zero (retry now);
+// an unparseable value reports !ok so the caller falls back to its own
+// backoff schedule.
+func parseRetryAfter(s string, now time.Time) (time.Duration, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			return 0, true
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // Run executes one program. A request without an ID is assigned one before

@@ -36,6 +36,7 @@ import (
 	"tangled/internal/aob"
 	"tangled/internal/asm"
 	"tangled/internal/cpu"
+	"tangled/internal/memo"
 	"tangled/internal/obs"
 	"tangled/internal/pipeline"
 )
@@ -102,6 +103,14 @@ type Job struct {
 	// (see obs.TagTrace), correlating interleaved rows back to requests.
 	TraceTag string
 
+	// Memo, when non-nil, overrides the engine's cache (Engine.SetMemo) for
+	// this job. NoMemo opts the job out of memoization entirely: it always
+	// executes and its result is never stored. Jobs with an Inspect hook and
+	// pipelined jobs feeding a trace ring bypass the cache regardless — both
+	// exist to observe a real execution. See memo.go.
+	Memo   *memo.Cache
+	NoMemo bool
+
 	// Inspect, when non-nil, is called with the machine after the run
 	// completes (successfully or not), before the machine returns to the
 	// pool. It runs on the worker goroutine and owns the machine only for
@@ -132,6 +141,11 @@ type Result struct {
 	// Err is the job's failure, if any: assembly errors, budget exhaustion
 	// (cpu.ErrNoHalt / pipeline.ErrNoHalt), or context cancellation.
 	Err error
+
+	// Cached reports that the result was served from the memo cache (or
+	// from an identical in-flight execution) instead of being executed by
+	// this job.
+	Cached bool
 }
 
 // Engine is a reusable batch executor with a bounded worker pool and pooled
@@ -149,6 +163,10 @@ type Engine struct {
 	// obs is the optional observability hook-up (see obs.go); atomic so
 	// SetObs is safe against in-flight batches.
 	obs atomic.Pointer[Obs]
+
+	// memo is the optional engine-wide execution cache (see memo.go);
+	// atomic so SetMemo is safe against in-flight batches.
+	memo atomic.Pointer[memo.Cache]
 }
 
 // New returns an engine running at most workers jobs concurrently;
@@ -247,6 +265,9 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, Stats) {
 			st.Cycles += p.Cycles
 			st.Stalls += p.TotalStalls()
 		}
+		if results[i].Cached {
+			st.MemoHits++
+		}
 	}
 	st.PoolHits = bc.hits.Load()
 	st.PoolMisses = bc.misses.Load()
@@ -294,10 +315,31 @@ func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters, o
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
-	if j.Mode == Pipelined {
-		e.runPipelined(ctx, j, prog, maxSteps, &res, bc, o)
-	} else {
-		e.runFunctional(ctx, j, prog, maxSteps, &res, bc, o)
+	exec := func() {
+		if j.Mode == Pipelined {
+			e.runPipelined(ctx, j, prog, maxSteps, &res, bc, o)
+		} else {
+			e.runFunctional(ctx, j, prog, maxSteps, &res, bc, o)
+		}
+	}
+	cache := e.jobCache(j, o)
+	if cache == nil {
+		exec()
+		return res
+	}
+	entry, cached, err := cache.Do(ctx, jobKey(j, prog, maxSteps), func() memo.Entry {
+		exec()
+		return memo.Entry{Regs: res.Regs, Output: res.Output, Insts: res.Insts, Pipe: res.Pipe, Err: res.Err}
+	})
+	if err != nil {
+		// The job's context expired while waiting on an identical in-flight
+		// execution; surface it exactly like a cancelled run.
+		res.Err = err
+		return res
+	}
+	if cached {
+		res.Regs, res.Output, res.Insts, res.Pipe, res.Err = entry.Regs, entry.Output, entry.Insts, entry.Pipe, entry.Err
+		res.Cached = true
 	}
 	return res
 }
@@ -345,7 +387,17 @@ func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, m
 		m = cpu.New(ways)
 	}
 	defer func() {
+		// Detach every host-side attachment and restore default hardware
+		// identity before the machine returns to the pool: an Inspect hook
+		// may have planted a trace hook, an energy meter, an alternate
+		// encoding, or the LUT reciprocal datapath, and none of those may
+		// follow the machine to its next, unrelated tenant. (The pool key
+		// guarantees only ways/constRegs; everything else must be default.)
 		m.Out = nil
+		m.Trace = nil
+		m.Enc = nil
+		m.RecipLUT = false
+		m.Qat.Meter = nil
 		m.AttachMetrics(nil)
 		pool.put(m)
 	}()
@@ -388,10 +440,20 @@ func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, ma
 		}
 	}
 	defer func() {
+		// Same scrub as the functional pool, reached through the pipeline's
+		// embedded machine: SetTraceRing(nil) clears the cycle-trace sink
+		// whether it was attached as a ring or as a tagged sink (both
+		// setters assign the same field), and the machine-level attachments
+		// an Inspect hook could have planted are detached explicitly.
 		p.SetOutput(nil)
 		p.SetMetrics(nil)
 		p.SetTraceRing(nil)
-		p.Machine().AttachMetrics(nil)
+		m := p.Machine()
+		m.Trace = nil
+		m.Enc = nil
+		m.RecipLUT = false
+		m.Qat.Meter = nil
+		m.AttachMetrics(nil)
 		pool.put(p)
 	}()
 

@@ -1,0 +1,113 @@
+package farm
+
+// Memoization hook-up: the engine can carry a content-addressed execution
+// cache (internal/memo) consulted by every worker before running a job.
+// Qat execution is deterministic and every job starts from the same
+// zero-initialized machine state (cpu.Machine.Load), so a job's outcome is
+// a pure function of (mode, machine configuration, step budget, program
+// words) — exactly what memo.ExecKey hashes. Workers that miss execute and
+// populate the cache; identical jobs running concurrently collapse onto one
+// execution through the cache's singleflight.
+//
+// Two kinds of jobs must see a real machine and therefore bypass the cache:
+// jobs with an Inspect hook (they observe post-run machine state) and
+// pipelined jobs while a trace ring is attached (their value is the
+// cycle-by-cycle rows, which a cache hit would not emit). Job.NoMemo is the
+// caller-controlled opt-out for everything else.
+
+import (
+	"tangled/internal/aob"
+	"tangled/internal/asm"
+	"tangled/internal/memo"
+	"tangled/internal/pipeline"
+)
+
+// SetMemo attaches (or with nil detaches) the engine-wide execution cache.
+// Safe to call concurrently with Run; jobs pick up the value current when
+// they start. A job's own Memo field, when set, takes precedence.
+func (e *Engine) SetMemo(c *memo.Cache) { e.memo.Store(c) }
+
+// Memo returns the engine-wide cache, nil when disabled.
+func (e *Engine) Memo() *memo.Cache { return e.memo.Load() }
+
+// jobCache resolves the cache a job should consult: the job's own handle,
+// else the engine's, else nil; nil also for jobs that must execute for
+// real (NoMemo, Inspect, pipelined trace capture).
+func (e *Engine) jobCache(j *Job, o *Obs) *memo.Cache {
+	c := j.Memo
+	if c == nil {
+		c = e.memo.Load()
+	}
+	if c == nil || j.NoMemo || j.Inspect != nil {
+		return nil
+	}
+	if j.Mode == Pipelined && o != nil && o.Trace != nil {
+		return nil
+	}
+	return c
+}
+
+// jobKey derives the job's content address from its resolved program and
+// budget, normalizing defaults (ways 0, zero pipeline config) so equivalent
+// spellings share an entry.
+func jobKey(j *Job, prog *asm.Program, maxSteps uint64) memo.Key {
+	ek := memo.ExecKey{MaxSteps: maxSteps, Words: prog.Words}
+	if j.Mode == Pipelined {
+		ek.Pipelined = true
+		cfg := j.Pipeline
+		if cfg == (pipeline.Config{}) {
+			cfg = pipeline.DefaultConfig()
+		}
+		ek.Pipeline = cfg
+	} else {
+		ways := j.Ways
+		if ways == 0 {
+			ways = aob.MaxWays
+		}
+		ek.Ways = ways
+		ek.ConstantRegs = j.ConstantRegs
+	}
+	return ek.Sum()
+}
+
+// MemoProbe checks whether j's result is already cached, without executing
+// anything or touching the worker pool. On a hit it returns the finished
+// Result (Cached set, Job index zero — the caller owns placement). Serving
+// layers call this before admission control so cache hits never consume an
+// admission slot or batching latency. When j carries source, the probe
+// assembles it and stores the program back into j.Prog, so a subsequent
+// real run does not re-assemble; assembly errors report as a miss and
+// surface through the normal execution path.
+func (e *Engine) MemoProbe(j *Job) (Result, bool) {
+	c := e.jobCache(j, e.currentObs())
+	if c == nil {
+		return Result{}, false
+	}
+	if j.Prog == nil {
+		if j.Src == "" {
+			return Result{}, false
+		}
+		p, err := asm.Assemble(j.Src)
+		if err != nil {
+			return Result{}, false
+		}
+		j.Prog = p
+	}
+	maxSteps := j.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	ent, ok := c.Get(jobKey(j, j.Prog, maxSteps))
+	if !ok {
+		return Result{}, false
+	}
+	return Result{
+		Name:   j.Name,
+		Regs:   ent.Regs,
+		Output: ent.Output,
+		Insts:  ent.Insts,
+		Pipe:   ent.Pipe,
+		Err:    ent.Err,
+		Cached: true,
+	}, true
+}

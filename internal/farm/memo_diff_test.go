@@ -1,0 +1,181 @@
+package farm_test
+
+// Memoization correctness harness: for every corpus program, a memoized
+// engine's first run (the miss that populates the cache) and second run
+// (the hit served from it) must be byte-identical to a fresh, memo-less
+// execution — registers, output, retired instruction count, and pipeline
+// stats — across the functional machine and both pipeline organizations.
+// A separate test proves the singleflight property: a batch of identical
+// concurrent jobs costs exactly one execution.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/farm"
+	"tangled/internal/farm/farmtest"
+	"tangled/internal/memo"
+)
+
+// sameResult compares the deterministic slice of two farm results.
+func sameResult(a, b farm.Result) error {
+	if a.Regs != b.Regs {
+		return fmt.Errorf("regs %v != %v", a.Regs, b.Regs)
+	}
+	if a.Output != b.Output {
+		return fmt.Errorf("output %q != %q", a.Output, b.Output)
+	}
+	if a.Insts != b.Insts {
+		return fmt.Errorf("insts %d != %d", a.Insts, b.Insts)
+	}
+	if (a.Pipe == nil) != (b.Pipe == nil) {
+		return fmt.Errorf("pipe presence %v != %v", a.Pipe != nil, b.Pipe != nil)
+	}
+	if a.Pipe != nil && *a.Pipe != *b.Pipe {
+		return fmt.Errorf("pipe stats %+v != %+v", *a.Pipe, *b.Pipe)
+	}
+	if (a.Err == nil) != (b.Err == nil) || (a.Err != nil && a.Err.Error() != b.Err.Error()) {
+		return fmt.Errorf("err %v != %v", a.Err, b.Err)
+	}
+	return nil
+}
+
+// TestMemoDifferential: fresh (memo-less) execution vs the memoized
+// engine's populating miss vs its subsequent hit, over the full shared
+// corpus and all three machine models.
+func TestMemoDifferential(t *testing.T) {
+	fresh := farm.New(0)
+	memoized := farm.New(0)
+	cache := memo.New(0)
+	memoized.SetMemo(cache)
+
+	for i := 0; i < farmtest.Programs; i++ {
+		src := farmtest.Generate(farmtest.Seed(i))
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("program %d does not assemble: %v", i, err)
+		}
+		p4cfg, p5cfg := pipeConfigs(i)
+		jobs := []farm.Job{
+			{Name: "func", Prog: prog, Mode: farm.Functional, Ways: diffWays},
+			{Name: "pipe4", Prog: prog, Mode: farm.Pipelined, Pipeline: p4cfg},
+			{Name: "pipe5", Prog: prog, Mode: farm.Pipelined, Pipeline: p5cfg},
+		}
+		freshRes, _ := fresh.Run(nil, jobs)
+		missRes, missSt := memoized.Run(nil, jobs)
+		hitRes, hitSt := memoized.Run(nil, jobs)
+
+		if missSt.MemoHits != 0 {
+			t.Fatalf("program %d: first memoized run reported %d memo hits", i, missSt.MemoHits)
+		}
+		if hitSt.MemoHits != uint64(len(jobs)) {
+			t.Fatalf("program %d: second memoized run reported %d/%d memo hits", i, hitSt.MemoHits, len(jobs))
+		}
+		for k := range jobs {
+			if freshRes[k].Err != nil {
+				t.Fatalf("program %d, %s: fresh run failed: %v\n%s", i, jobs[k].Name, freshRes[k].Err, src)
+			}
+			if missRes[k].Cached {
+				t.Fatalf("program %d, %s: populating run flagged cached", i, jobs[k].Name)
+			}
+			if !hitRes[k].Cached {
+				t.Fatalf("program %d, %s: repeat run not served from cache", i, jobs[k].Name)
+			}
+			if err := sameResult(freshRes[k], missRes[k]); err != nil {
+				t.Fatalf("program %d, %s: miss differs from fresh: %v\n%s", i, jobs[k].Name, err, src)
+			}
+			if err := sameResult(freshRes[k], hitRes[k]); err != nil {
+				t.Fatalf("program %d, %s: cache hit differs from fresh: %v\n%s", i, jobs[k].Name, err, src)
+			}
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache saw no traffic: %+v", st)
+	}
+}
+
+// TestMemoBatchSingleflight: one batch of N identical jobs costs exactly
+// one execution — concurrent duplicates collapse onto the in-flight leader
+// (or hit the entry it just stored), never re-executing.
+func TestMemoBatchSingleflight(t *testing.T) {
+	const n = 32
+	src := farmtest.Generate(farmtest.Seed(1))
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := memo.New(0)
+	engine := farm.New(8)
+	engine.SetMemo(cache)
+
+	jobs := make([]farm.Job, n)
+	for i := range jobs {
+		jobs[i] = farm.Job{Name: "dup", Prog: prog, Mode: farm.Functional, Ways: diffWays}
+	}
+	results, st := engine.Run(nil, jobs)
+
+	cs := cache.Stats()
+	if cs.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 execution for %d identical jobs (stats %+v)", cs.Misses, n, cs)
+	}
+	if cs.Hits+cs.Misses != n {
+		t.Fatalf("hits+misses = %d, want %d (stats %+v)", cs.Hits+cs.Misses, n, cs)
+	}
+	if st.MemoHits != n-1 {
+		t.Fatalf("batch memo hits = %d, want %d", st.MemoHits, n-1)
+	}
+	var cached int
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		if err := sameResult(results[0], res); err != nil {
+			t.Fatalf("job %d differs from job 0: %v", i, err)
+		}
+		if res.Cached {
+			cached++
+		}
+	}
+	if cached != n-1 {
+		t.Fatalf("%d results flagged cached, want %d", cached, n-1)
+	}
+}
+
+// TestMemoBypass: NoMemo jobs and Inspect-carrying jobs always execute, and
+// never populate or read the cache.
+func TestMemoBypass(t *testing.T) {
+	src := farmtest.Generate(farmtest.Seed(2))
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := memo.New(0)
+	engine := farm.New(1)
+	engine.SetMemo(cache)
+
+	var inspected atomic.Int64
+	jobs := []farm.Job{
+		{Name: "no-memo", Prog: prog, Mode: farm.Functional, Ways: diffWays, NoMemo: true},
+		{Name: "no-memo-again", Prog: prog, Mode: farm.Functional, Ways: diffWays, NoMemo: true},
+		{Name: "inspect", Prog: prog, Mode: farm.Functional, Ways: diffWays,
+			Inspect: func(*cpu.Machine) { inspected.Add(1) }},
+	}
+	results, st := engine.Run(nil, jobs)
+	for i, res := range results {
+		if res.Err != nil || res.Cached {
+			t.Fatalf("job %d: err=%v cached=%v", i, res.Err, res.Cached)
+		}
+	}
+	if st.MemoHits != 0 {
+		t.Fatalf("bypass jobs produced %d memo hits", st.MemoHits)
+	}
+	if cs := cache.Stats(); cs.Hits != 0 || cs.Misses != 0 || cache.Len() != 0 {
+		t.Fatalf("bypass jobs touched the cache: %+v len=%d", cs, cache.Len())
+	}
+	if inspected.Load() != 1 {
+		t.Fatalf("inspect ran %d times, want 1", inspected.Load())
+	}
+}

@@ -1,0 +1,198 @@
+package farm_test
+
+// Pool-reuse hygiene: a machine handed back to the sync.Pool must carry
+// nothing from its previous tenant. Three leak surfaces are pinned here:
+// the cycle-trace request tag (a stale tagged sink would stamp the previous
+// request's ID onto an unrelated job's rows), machine-level attachments an
+// Inspect hook may have planted (instruction-trace hook, energy meter,
+// alternate encoding, LUT reciprocal datapath), and the interleaved
+// tagged/untagged mix under the race detector.
+
+import (
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/energy"
+	"tangled/internal/farm"
+	"tangled/internal/farm/farmtest"
+	"tangled/internal/isa"
+	"tangled/internal/obs"
+	"tangled/internal/pipeline"
+)
+
+func leakProg(t *testing.T, seed int) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(farmtest.Generate(farmtest.Seed(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestReuseNoTraceTagLeak: after a tagged job releases its pooled pipeline,
+// an untagged job reusing the same machine must emit rows with an empty Req
+// — the tagged sink must not survive the handoff.
+func TestReuseNoTraceTagLeak(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := farm.NewObs(reg)
+	o.Trace = obs.NewTraceRing(1 << 16)
+	engine := farm.New(1)
+	engine.SetObs(o)
+
+	prog := leakProg(t, 3)
+	cfg := pipeline.DefaultConfig()
+	cfg.Ways = farmtest.Ways
+
+	// sync.Pool deliberately drops a fraction of puts under the race
+	// detector, so one tagged/untagged pair is not guaranteed to share a
+	// machine; retry the pair until the untagged job actually reuses one.
+	for attempt := 0; attempt < 100; attempt++ {
+		tagged := farm.Job{Name: "tagged", Prog: prog, Mode: farm.Pipelined, Pipeline: cfg, TraceTag: "req-A"}
+		if res, _ := engine.Run(nil, []farm.Job{tagged}); res[0].Err != nil {
+			t.Fatalf("tagged job: %v", res[0].Err)
+		}
+		taggedRows := len(o.Trace.Events())
+		if taggedRows == 0 {
+			t.Fatalf("tagged job emitted no trace rows")
+		}
+		for _, e := range o.Trace.Events() {
+			if e.Req != "req-A" {
+				t.Fatalf("tagged job row carries req %q, want %q", e.Req, "req-A")
+			}
+		}
+
+		untagged := farm.Job{Name: "untagged", Prog: prog, Mode: farm.Pipelined, Pipeline: cfg}
+		res, st := engine.Run(nil, []farm.Job{untagged})
+		if res[0].Err != nil {
+			t.Fatalf("untagged job: %v", res[0].Err)
+		}
+		events := o.Trace.Events()
+		if len(events) <= taggedRows {
+			t.Fatalf("untagged job emitted no trace rows")
+		}
+		for _, e := range events[taggedRows:] {
+			if e.Req != "" {
+				t.Fatalf("untagged job row carries leaked req tag %q", e.Req)
+			}
+		}
+		if st.PoolHits > 0 {
+			return // reuse happened and the rows above came out clean
+		}
+		o.Trace = obs.NewTraceRing(1 << 16) // fresh ring for the retry
+		engine.SetObs(o)
+	}
+	t.Fatalf("untagged job never reused the pooled pipeline; leak surface not exercised")
+}
+
+// TestReuseNoInspectStateLeak: attachments and hardware-identity overrides
+// planted by one tenant's Inspect hook must be gone when the next tenant's
+// Inspect observes the same pooled machine.
+func TestReuseNoInspectStateLeak(t *testing.T) {
+	prog := leakProg(t, 4)
+	cfg := pipeline.DefaultConfig()
+	cfg.Ways = farmtest.Ways
+
+	for _, mode := range []struct {
+		name string
+		job  func(inspect func(*cpu.Machine)) farm.Job
+	}{
+		{"functional", func(in func(*cpu.Machine)) farm.Job {
+			return farm.Job{Prog: prog, Mode: farm.Functional, Ways: farmtest.Ways, Inspect: in}
+		}},
+		{"pipelined", func(in func(*cpu.Machine)) farm.Job {
+			return farm.Job{Prog: prog, Mode: farm.Pipelined, Pipeline: cfg, Inspect: in}
+		}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			engine := farm.New(1)
+			// Retry the dirty/clean pair until the clean job actually gets
+			// the recycled machine (sync.Pool drops puts under -race).
+			for attempt := 0; attempt < 100; attempt++ {
+				dirty := mode.job(func(m *cpu.Machine) {
+					m.Trace = func(uint16, isa.Inst) {}
+					m.Qat.Meter = energy.NewMeter()
+					m.Enc = isa.Student
+					m.RecipLUT = true
+				})
+				if res, _ := engine.Run(nil, []farm.Job{dirty}); res[0].Err != nil {
+					t.Fatalf("dirty job: %v", res[0].Err)
+				}
+
+				var leaked []string
+				clean := mode.job(func(m *cpu.Machine) {
+					if m.Trace != nil {
+						leaked = append(leaked, "Trace")
+					}
+					if m.Qat.Meter != nil {
+						leaked = append(leaked, "Qat.Meter")
+					}
+					if m.Enc != nil {
+						leaked = append(leaked, "Enc")
+					}
+					if m.RecipLUT {
+						leaked = append(leaked, "RecipLUT")
+					}
+				})
+				res, st := engine.Run(nil, []farm.Job{clean})
+				if res[0].Err != nil {
+					t.Fatalf("clean job: %v", res[0].Err)
+				}
+				if len(leaked) > 0 {
+					t.Fatalf("state leaked across pool tenants: %v", leaked)
+				}
+				if st.PoolHits > 0 {
+					return
+				}
+			}
+			t.Fatalf("clean job never reused the pooled machine; leak surface not exercised")
+		})
+	}
+}
+
+// TestReuseInterleavedTaggedUntagged runs a concurrent mix of tagged and
+// untagged pipelined jobs over a small worker pool (forcing heavy machine
+// reuse) and asserts every trace row carries either its own job's tag or no
+// tag at all — with the race detector watching the shared ring and pooled
+// machines.
+func TestReuseInterleavedTaggedUntagged(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := farm.NewObs(reg)
+	o.Trace = obs.NewTraceRing(1 << 18)
+	engine := farm.New(4)
+	engine.SetObs(o)
+
+	prog := leakProg(t, 5)
+	cfg := pipeline.DefaultConfig()
+	cfg.Ways = farmtest.Ways
+
+	const n = 48
+	jobs := make([]farm.Job, n)
+	want := map[string]bool{"": true}
+	for i := range jobs {
+		jobs[i] = farm.Job{Prog: prog, Mode: farm.Pipelined, Pipeline: cfg}
+		if i%2 == 0 {
+			tag := "req-" + string(rune('a'+i/2))
+			jobs[i].TraceTag = tag
+			want[tag] = true
+		}
+	}
+	results, _ := engine.Run(nil, jobs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+	}
+	tagged := 0
+	for _, e := range o.Trace.Events() {
+		if !want[e.Req] {
+			t.Fatalf("trace row carries unknown req tag %q", e.Req)
+		}
+		if e.Req != "" {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Fatalf("no tagged rows recorded")
+	}
+}

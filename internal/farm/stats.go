@@ -19,6 +19,9 @@ type Stats struct {
 	// that had to allocate one. At steady state misses stay flat: no run
 	// beyond the first |workers| allocates machine state.
 	PoolHits, PoolMisses uint64
+	// MemoHits counts jobs served from the memo cache (including jobs
+	// collapsed onto an identical in-flight execution) without running.
+	MemoHits uint64
 	// Wall is the batch wall-clock time (for Totals: the sum over batches).
 	Wall time.Duration
 	// Workers is the concurrency the batch actually used.
@@ -42,11 +45,17 @@ func (s Stats) PoolHitRate() float64 {
 	return float64(s.PoolHits) / float64(total)
 }
 
-// String renders the one-line summary printed by cmd/qatfarm.
+// String renders the one-line summary printed by cmd/qatfarm. The memo
+// figure only appears when memoization served at least one job, so
+// memo-less runs keep their historical format.
 func (s Stats) String() string {
-	return fmt.Sprintf("farm: %d jobs (%d failed) on %d workers in %v: %.1f jobs/s, %d insts, %d cycles, %d stalls, pool hit rate %.0f%%",
+	line := fmt.Sprintf("farm: %d jobs (%d failed) on %d workers in %v: %.1f jobs/s, %d insts, %d cycles, %d stalls, pool hit rate %.0f%%",
 		s.Jobs, s.Errors, s.Workers, s.Wall.Round(time.Millisecond),
 		s.JobsPerSec(), s.Insts, s.Cycles, s.Stalls, 100*s.PoolHitRate())
+	if s.MemoHits > 0 {
+		line += fmt.Sprintf(", memo hits %d", s.MemoHits)
+	}
+	return line
 }
 
 // accumulate folds a batch into lifetime totals.
@@ -58,6 +67,7 @@ func (s *Stats) accumulate(b Stats) {
 	s.Stalls += b.Stalls
 	s.PoolHits += b.PoolHits
 	s.PoolMisses += b.PoolMisses
+	s.MemoHits += b.MemoHits
 	s.Wall += b.Wall
 	if b.Workers > s.Workers {
 		s.Workers = b.Workers

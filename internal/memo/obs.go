@@ -1,0 +1,43 @@
+package memo
+
+// Cache observability: traffic counters plus hit- and miss-latency
+// histograms, registered on the shared obs.Registry so memo metrics export
+// next to the farm and serving sets. The histograms make the cache's value
+// legible at a glance — hits cluster in microseconds (a lock, a map probe,
+// a copy) while misses carry the full execution time.
+
+import "tangled/internal/obs"
+
+// hitLatencyBuckets spans lock-and-copy hit times; missLatencyBuckets spans
+// real executions, matching the farm's per-job latency range.
+var (
+	hitLatencyBuckets  = []float64{1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01}
+	missLatencyBuckets = []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}
+)
+
+// Obs is the cache's metric set; construct with NewObs and attach with
+// Cache.SetObs. A nil Obs disables everything.
+type Obs struct {
+	// Hits counts results served from the store, Misses executions that
+	// populated it, Evictions entries aged out by the LRU bound, and Dedup
+	// callers collapsed onto another caller's in-flight execution.
+	Hits, Misses, Evictions, Dedup *obs.Counter
+	// HitSeconds and MissSeconds split the serve-latency distribution by
+	// outcome.
+	HitSeconds, MissSeconds *obs.Histogram
+}
+
+// NewObs registers the memo metric set on r, or returns nil when r is nil.
+func NewObs(r *obs.Registry) *Obs {
+	if r == nil {
+		return nil
+	}
+	return &Obs{
+		Hits:        r.Counter("memo_hits_total", "executions served from the memo cache"),
+		Misses:      r.Counter("memo_misses_total", "executions that ran and populated the memo cache"),
+		Evictions:   r.Counter("memo_evictions_total", "memo entries evicted by the LRU bound"),
+		Dedup:       r.Counter("memo_inflight_dedup_total", "callers collapsed onto an identical in-flight execution"),
+		HitSeconds:  r.Histogram("memo_hit_seconds", "serve latency of memo hits", hitLatencyBuckets),
+		MissSeconds: r.Histogram("memo_miss_seconds", "serve latency of memo misses (includes execution)", missLatencyBuckets),
+	}
+}

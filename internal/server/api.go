@@ -100,6 +100,11 @@ type RunResult struct {
 	// single runs the HTTP response status matches Code.
 	Error string `json:"error,omitempty"`
 	Code  int    `json:"code,omitempty"`
+
+	// Cached reports that the result was served from the server's
+	// content-addressed execution cache instead of being executed for this
+	// request. (Additive field; the schema version is unchanged.)
+	Cached bool `json:"cached,omitempty"`
 }
 
 // LineError is one assembler diagnostic in an ErrorResponse.
@@ -244,6 +249,7 @@ func resultFrom(fr *farm.Result, id string, index int) RunResult {
 		Regs:   fr.Regs,
 		Output: fr.Output,
 		Insts:  fr.Insts,
+		Cached: fr.Cached,
 	}
 	if fr.Pipe != nil {
 		out.Cycles = fr.Pipe.Cycles

@@ -26,6 +26,10 @@ func TestDrainUnderConcurrentReaders(t *testing.T) {
 	s, base := startTestServer(t, Config{
 		Registry:    reg,
 		BatchWindow: time.Millisecond,
+		// The accounting below equates delivered responses with engine
+		// jobs, so the execution cache (which answers repeats without an
+		// engine run) must be off.
+		MemoCap: -1,
 	})
 
 	var accepted, drained atomic.Int64

@@ -49,6 +49,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/farm"
 	"tangled/internal/lint"
+	"tangled/internal/memo"
 	"tangled/internal/obs"
 	"tangled/internal/qasm"
 )
@@ -78,6 +79,15 @@ type Config struct {
 	// IdempotencyCap bounds the /v1/run response replay cache; <= 0 means
 	// 1024 entries, < 0 after normalization disables it.
 	IdempotencyCap int
+	// MemoCap bounds the content-addressed execution cache shared by every
+	// run and batch program (internal/memo): identical (program,
+	// configuration, budget) submissions are answered from it before
+	// admission control, so hits never consume a queue slot or batching
+	// latency, and concurrent identical misses collapse onto one
+	// execution. 0 means 4096 entries, < 0 disables memoization. Pipelined
+	// programs are not memoized while Trace is attached (their rows must
+	// be emitted by a real execution).
+	MemoCap int
 
 	// StrictLint runs the static analyzer over every submitted program and
 	// refuses those with error-severity findings (cannot halt, illegal
@@ -112,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdempotencyCap == 0 {
 		c.IdempotencyCap = 1024
+	}
+	if c.MemoCap == 0 {
+		c.MemoCap = memo.DefaultCap
 	}
 	return c
 }
@@ -149,6 +162,11 @@ func New(cfg Config) *Server {
 		fo := farm.NewObs(cfg.Registry)
 		fo.Trace = cfg.Trace
 		engine.SetObs(fo)
+	}
+	if cfg.MemoCap > 0 {
+		cache := memo.New(cfg.MemoCap)
+		cache.SetObs(memo.NewObs(cfg.Registry))
+		engine.SetMemo(cache)
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -386,6 +404,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, failStatus, *errResp)
 		return
 	}
+	// Memoized result? Answered before admission control, so a hit never
+	// consumes a queue slot or the coalescer's batching window.
+	if fr, ok := s.engine.MemoProbe(&job); ok {
+		s.finishRun(w, id, resultFrom(&fr, id, 0))
+		return
+	}
 	if !s.admit(1) {
 		s.write429(w)
 		return
@@ -397,9 +421,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fr := <-done
-	res := resultFrom(&fr, id, 0)
+	s.finishRun(w, id, resultFrom(&fr, id, 0))
+}
+
+// finishRun delivers a completed /v1/run result: caller-dependent failures
+// (deadline/cancel) surface as the HTTP status and are never replayable;
+// everything else is cached for idempotent resubmission and returned 200.
+func (s *Server) finishRun(w http.ResponseWriter, id string, res RunResult) {
 	if res.Code >= 400 && res.Code != http.StatusInternalServerError {
-		// Deadline/cancel surface as the HTTP status for single runs.
 		s.writeJSON(w, res.Code, res)
 		return
 	}
@@ -446,33 +475,65 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs[i] = job
 	}
-	if !s.admit(len(jobs)) {
-		s.write429(w)
-		return
+	// Probe the memo for every program first: hits are already-finished
+	// results, so only the misses ask for admission slots — a batch of
+	// repeats sails through even when the queue is otherwise full.
+	results := make([]*RunResult, len(jobs))
+	var missJobs []farm.Job
+	var missIdx []int
+	for i := range jobs {
+		if fr, ok := s.engine.MemoProbe(&jobs[i]); ok {
+			rr := resultFrom(&fr, ids[i], i)
+			results[i] = &rr
+		} else {
+			missJobs = append(missJobs, jobs[i])
+			missIdx = append(missIdx, i)
+		}
 	}
-	defer s.release(len(jobs))
+	if len(missJobs) > 0 {
+		if !s.admit(len(missJobs)) {
+			s.write429(w)
+			return
+		}
+		defer s.release(len(missJobs))
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	enc.Encode(ResultsHeader{Schema: ResultsSchema, Version: ResultsSchemaVersion, Count: len(jobs)})
 	flusher, _ := w.(http.Flusher)
 
-	// Chunked execution: each chunk is one farm batch, results flush as
-	// soon as their chunk completes.
-	for off := 0; off < len(jobs); off += s.cfg.BatchMax {
-		end := off + s.cfg.BatchMax
-		if end > len(jobs) {
-			end = len(jobs)
-		}
-		chunk := jobs[off:end]
-		s.obs.batchSize.Observe(float64(len(chunk)))
-		results, _ := s.engine.Run(context.Background(), chunk)
-		for i := range results {
-			enc.Encode(resultFrom(&results[i], ids[off+i], off+i))
+	// Stream results in input order as they become available: the
+	// contiguous finished prefix flushes after the header (cached results
+	// ahead of the first miss go out immediately) and again after each
+	// executed chunk fills in its slots.
+	next := 0
+	flush := func() {
+		for next < len(results) && results[next] != nil {
+			enc.Encode(results[next])
+			next++
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	flush()
+
+	// Chunked execution of the misses: each chunk is one farm batch.
+	for off := 0; off < len(missJobs); off += s.cfg.BatchMax {
+		end := off + s.cfg.BatchMax
+		if end > len(missJobs) {
+			end = len(missJobs)
+		}
+		chunk := missJobs[off:end]
+		s.obs.batchSize.Observe(float64(len(chunk)))
+		rs, _ := s.engine.Run(context.Background(), chunk)
+		for i := range rs {
+			gi := missIdx[off+i]
+			rr := resultFrom(&rs[i], ids[gi], gi)
+			results[gi] = &rr
+		}
+		flush()
 	}
 }
 
@@ -681,21 +742,23 @@ func (s *Server) writeUnavailable(w http.ResponseWriter) {
 
 // ---- idempotency cache ----
 
-// idempCache is a bounded FIFO map of completed /v1/run responses keyed by
+// idempCache is a bounded LRU map of completed /v1/run responses keyed by
 // request ID. Deterministic execution makes replays exact; the bound keeps
-// a chatty client from growing server memory.
+// a chatty client from growing server memory. Lookups refresh recency, so
+// a request ID being actively retried stays replayable while cold entries
+// age out. (The original implementation was a FIFO over a slice: a hot ID
+// was evicted as readily as a cold one, and slicing the order queue's head
+// off retained the dead prefix of its backing array.)
 type idempCache struct {
-	mu    sync.Mutex
-	cap   int
-	order []string
-	byID  map[string]RunResult
+	mu  sync.Mutex
+	lru *memo.LRU[string, RunResult]
 }
 
 func newIdempCache(capacity int) *idempCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &idempCache{cap: capacity, byID: make(map[string]RunResult)}
+	return &idempCache{lru: memo.NewLRU[string, RunResult](capacity, nil)}
 }
 
 func (c *idempCache) get(id string) (RunResult, bool) {
@@ -704,8 +767,7 @@ func (c *idempCache) get(id string) (RunResult, bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.byID[id]
-	return r, ok
+	return c.lru.Get(id)
 }
 
 func (c *idempCache) put(id string, r RunResult) {
@@ -714,13 +776,10 @@ func (c *idempCache) put(id string, r RunResult) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.byID[id]; ok {
+	// First write wins: a replayed request must keep returning the
+	// response its first execution produced.
+	if _, ok := c.lru.Peek(id); ok {
 		return
 	}
-	if len(c.order) == c.cap {
-		delete(c.byID, c.order[0])
-		c.order = c.order[1:]
-	}
-	c.byID[id] = r
-	c.order = append(c.order, id)
+	c.lru.Add(id, r)
 }

@@ -14,6 +14,7 @@ import (
 var atomicAllowed = []string{
 	"internal/obs",
 	"internal/farm",
+	"internal/memo", // cache hit/miss/eviction/dedup counters + obs handle swap
 	"internal/server",
 	"internal/client",
 	"cmd/qatclient",
