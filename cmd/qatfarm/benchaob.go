@@ -1,0 +1,242 @@
+package main
+
+// The -bench-aob mode: quantify what the SWAR AoB kernels buy over the
+// definitional semantics. Every Table 3 register operation is specified
+// channel-at-a-time ("for each of the 2^E channels, ..."); the production
+// kernels in internal/aob implement the same contract word-parallel — 64
+// channels per logic op, precomputed period words for Had, batched popcounts
+// for the reductions. This mode times both implementations on identical
+// inputs at 8/12/16 ways and writes the per-kernel ratios to a JSON file,
+// with the best ratio as the headline figure the CI bench guard gates on.
+//
+// The baseline is the bit-at-a-time loop over the public Get/Set interface —
+// the same definitional model the aob test suite's reference uses — so the
+// ratio measures exactly the word-parallelism, not allocator or dispatch
+// differences (neither side allocates in the timed loop).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"tangled/internal/aob"
+)
+
+// aobBenchReport is the schema of BENCH_aob.json.
+type aobBenchReport struct {
+	Benchmark  string `json:"benchmark"`
+	Generated  string `json:"generated"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Note       string `json:"note"`
+
+	Kernels []aobKernelPoint `json:"kernels"`
+	// Speedup is the best kernel ratio in the table — the headline figure
+	// the CI bench guard gates on.
+	Speedup float64 `json:"speedup"`
+}
+
+// aobKernelPoint is one (kernel, ways) measurement.
+type aobKernelPoint struct {
+	Kernel          string  `json:"kernel"`
+	Ways            int     `json:"ways"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	SwarNsPerOp     float64 `json:"swar_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// benchSink defeats dead-code elimination of the measured loops.
+var benchSink uint64
+
+// randAoB fills a vector with a deterministic random pattern.
+func randAoB(r *rand.Rand, ways int) *aob.Vector {
+	v := aob.New(ways)
+	for i := 0; i < v.NumWords(); i++ {
+		v.SetWord(i, r.Uint64())
+	}
+	return v
+}
+
+// measureAoB times f in batches until minDuration elapses and returns ns/op.
+func measureAoB(f func(), minDuration time.Duration) float64 {
+	// One warm call outside the clock.
+	f()
+	const batch = 16
+	var ops uint64
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		for i := 0; i < batch; i++ {
+			f()
+		}
+		ops += batch
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// Definitional bit-at-a-time implementations over the public interface.
+
+func naiveBinary(dst, a, b *aob.Vector, f func(x, y bool) bool) {
+	for ch := uint64(0); ch < dst.Channels(); ch++ {
+		dst.Set(ch, f(a.Get(ch), b.Get(ch)))
+	}
+}
+
+func naiveNot(v *aob.Vector) {
+	for ch := uint64(0); ch < v.Channels(); ch++ {
+		v.Set(ch, !v.Get(ch))
+	}
+}
+
+func naiveHad(v *aob.Vector, k int) {
+	for ch := uint64(0); ch < v.Channels(); ch++ {
+		v.Set(ch, ch>>uint(k)&1 == 1)
+	}
+}
+
+func naiveNext(v *aob.Vector, ch uint64) uint64 {
+	for c := ch + 1; c < v.Channels(); c++ {
+		if v.Get(c) {
+			return c
+		}
+	}
+	return 0
+}
+
+func naivePopAfter(v *aob.Vector, ch uint64) uint64 {
+	var n uint64
+	for c := ch + 1; c < v.Channels(); c++ {
+		if v.Get(c) {
+			n++
+		}
+	}
+	return n
+}
+
+func naivePop(v *aob.Vector) uint64 {
+	var n uint64
+	for c := uint64(0); c < v.Channels(); c++ {
+		if v.Get(c) {
+			n++
+		}
+	}
+	return n
+}
+
+func naiveAll(v *aob.Vector) bool {
+	for c := uint64(0); c < v.Channels(); c++ {
+		if !v.Get(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// aobKernels enumerates the measured operations as baseline/swar pairs over
+// shared operands.
+func aobKernels(ways int) []struct {
+	name     string
+	baseline func()
+	swar     func()
+} {
+	r := rand.New(rand.NewSource(int64(ways) * 7919))
+	a, b, c := randAoB(r, ways), randAoB(r, ways), randAoB(r, ways)
+	dst := aob.New(ways)
+	probe := a.Channels() / 3
+	btou := func(x bool) uint64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	return []struct {
+		name     string
+		baseline func()
+		swar     func()
+	}{
+		{"And",
+			func() { naiveBinary(dst, a, b, func(x, y bool) bool { return x && y }) },
+			func() { dst.And(a, b) }},
+		{"Or",
+			func() { naiveBinary(dst, a, b, func(x, y bool) bool { return x || y }) },
+			func() { dst.Or(a, b) }},
+		{"Xor",
+			func() { naiveBinary(dst, a, b, func(x, y bool) bool { return x != y }) },
+			func() { dst.Xor(a, b) }},
+		{"Not",
+			func() { naiveNot(dst) },
+			func() { dst.Not() }},
+		{"CNot",
+			func() { naiveBinary(dst, dst, a, func(x, y bool) bool { return x != y }) },
+			func() { dst.CNot(a) }},
+		{"CCNot",
+			func() {
+				for ch := uint64(0); ch < dst.Channels(); ch++ {
+					dst.Set(ch, dst.Get(ch) != (b.Get(ch) && c.Get(ch)))
+				}
+			},
+			func() { dst.CCNot(b, c) }},
+		{"Had",
+			func() { naiveHad(dst, ways-1) },
+			func() { dst.Had(ways - 1) }},
+		{"Next",
+			func() { benchSink += naiveNext(a, probe) },
+			func() { benchSink += a.Next(probe) }},
+		{"PopAfter",
+			func() { benchSink += naivePopAfter(a, probe) },
+			func() { benchSink += a.PopAfter(probe) }},
+		{"Pop",
+			func() { benchSink += naivePop(a) },
+			func() { benchSink += a.Pop() }},
+		{"All",
+			func() { benchSink += btou(naiveAll(a)) },
+			func() { benchSink += btou(a.All()) }},
+	}
+}
+
+func runBenchAoB(path string) error {
+	rep := aobBenchReport{
+		Benchmark:  "AoBKernelsVsDefinitional",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "word-parallel AoB kernels vs the definitional bit-at-a-time loops on identical " +
+			"inputs; speedup is the best kernel ratio across 8/12/16 ways",
+	}
+	const minDur = 25 * time.Millisecond
+	for _, ways := range []int{8, 12, 16} {
+		for _, k := range aobKernels(ways) {
+			base := measureAoB(k.baseline, minDur)
+			swar := measureAoB(k.swar, minDur)
+			pt := aobKernelPoint{
+				Kernel:          k.name,
+				Ways:            ways,
+				BaselineNsPerOp: base,
+				SwarNsPerOp:     swar,
+				Speedup:         base / swar,
+			}
+			rep.Kernels = append(rep.Kernels, pt)
+			fmt.Printf("%-9s ways=%-2d  baseline %10.1f ns/op  swar %8.1f ns/op  %8.1fx\n",
+				k.name, ways, base, swar, pt.Speedup)
+			if pt.Speedup > rep.Speedup {
+				rep.Speedup = pt.Speedup
+			}
+		}
+	}
+	fmt.Printf("best kernel speedup: %.1fx\n", rep.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

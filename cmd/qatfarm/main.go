@@ -75,7 +75,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall deadline for the batch (0 = none)")
 	bench := flag.Bool("bench", false, "run the throughput sweep and write the regression file")
 	benchMemo := flag.Bool("bench-memo", false, "benchmark the execution cache on a 90%-repeat mix")
-	out := flag.String("out", "", "output file for -bench/-bench-memo (defaults BENCH_farm.json / BENCH_memo.json)")
+	benchAoB := flag.Bool("bench-aob", false, "benchmark the SWAR AoB kernels against the definitional bit loops")
+	out := flag.String("out", "", "output file for -bench/-bench-memo/-bench-aob (defaults BENCH_farm.json / BENCH_memo.json / BENCH_aob.json)")
 	metricsOut := flag.String("metrics", "", "write Prometheus text metrics to FILE after the run (- for stdout)")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on ADDR during the run")
 	traceOut := flag.String("trace", "", "write the pipeline cycle trace as JSONL to FILE")
@@ -95,6 +96,15 @@ func main() {
 			*out = "BENCH_memo.json"
 		}
 		if err := runBenchMemo(*out, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchAoB {
+		if *out == "" {
+			*out = "BENCH_aob.json"
+		}
+		if err := runBenchAoB(*out); err != nil {
 			fatal(err)
 		}
 		return

@@ -45,6 +45,9 @@ func main() {
 	mulLat := flag.Int("mul-latency", 1, "EX cycles for integer multiply")
 	nextLat := flag.Int("next-latency", 1, "EX cycles for Qat next/pop")
 	constRegs := flag.Bool("const-regs", false, "Section 5 constant-register Qat variant")
+	backend := flag.String("backend", "", "Qat register file: dense (default) or re (run-encoded, functional mode; allows -ways up to 24)")
+	chunkWays := flag.Int("chunk-ways", 0, "re backend: symbol chunk width (default min(ways,16))")
+	spillRuns := flag.Int("spill-runs", 0, "re backend: dense-spill run budget (default 64, negative disables)")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	regs := flag.Bool("regs", false, "dump final registers")
 	itrace := flag.Bool("itrace", false, "trace every executed instruction on stderr (functional mode)")
@@ -98,6 +101,9 @@ func main() {
 	}
 
 	if *pipe {
+		if *backend != "" && *backend != qat.BackendDense {
+			fatal(fmt.Errorf("the pipelined model supports only the dense backend (got -backend %s)", *backend))
+		}
 		cfg := pipeline.Config{
 			Stages:              *stages,
 			Ways:                *ways,
@@ -144,11 +150,15 @@ func main() {
 		return
 	}
 
-	var m *cpu.Machine
-	if *constRegs {
-		m = cpu.NewWithConstants(*ways)
-	} else {
-		m = cpu.New(*ways)
+	m, err := cpu.NewFromConfig(qat.Config{
+		Ways:         *ways,
+		ConstantRegs: *constRegs,
+		Backend:      *backend,
+		ChunkWays:    *chunkWays,
+		SpillRuns:    *spillRuns,
+	})
+	if err != nil {
+		fatal(err)
 	}
 	m.Out = os.Stdout
 	m.Enc = enc

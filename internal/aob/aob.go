@@ -30,6 +30,20 @@ const MaxWays = 16
 // wordBits is the number of bits packed per storage word.
 const wordBits = 64
 
+// hadPats precomputes the six Hadamard patterns whose period fits inside one
+// 64-bit word: hadPats[k] holds bit k of the bit index at every position
+// (2^k zeros then 2^k ones, repeating). Had(k) for k < 6 is then a plain
+// word fill instead of a 64-iteration bit build — the word-parallel (SWAR)
+// form of the Figure 7 initializer.
+var hadPats = [6]uint64{
+	0xAAAAAAAAAAAAAAAA, // k=0: 01 repeating
+	0xCCCCCCCCCCCCCCCC, // k=1: 0011 repeating
+	0xF0F0F0F0F0F0F0F0, // k=2: 00001111 repeating
+	0xFF00FF00FF00FF00, // k=3
+	0xFFFF0000FFFF0000, // k=4
+	0xFFFFFFFF00000000, // k=5
+}
+
 // Vector is an AoB value: a bit vector of exactly 2^ways bits packed into
 // 64-bit words, least-significant channel first. A Vector with ways < 6
 // occupies the low 2^ways bits of a single word; the unused high bits are
@@ -106,17 +120,19 @@ func (v *Vector) mustMatch(o *Vector) {
 
 // Zero sets every channel of v to 0 (the Qat "zero @a" instruction).
 func (v *Vector) Zero() {
-	for i := range v.words {
-		v.words[i] = 0
-	}
+	clear(v.words)
 }
 
-// One sets every channel of v to 1 (the Qat "one @a" instruction).
+// One sets every channel of v to 1 (the Qat "one @a" instruction). The tail
+// clamp is fused into the fill: the final word is written once, already
+// masked.
 func (v *Vector) One() {
-	for i := range v.words {
-		v.words[i] = ^uint64(0)
+	w := v.words
+	last := len(w) - 1
+	for i := 0; i < last; i++ {
+		w[i] = ^uint64(0)
 	}
-	v.clampTail()
+	w[last] = v.lastWordMask()
 }
 
 // Had overwrites v with the k-th standard Hadamard initializer pattern (the
@@ -124,34 +140,37 @@ func (v *Vector) One() {
 // representation of e, i.e. a repeating run of 2^k zeros followed by 2^k
 // ones. It panics if k is outside [0, ways): the hardware has no pattern
 // beyond the supported entanglement.
+//
+// The write is word-parallel in both regimes: patterns with sub-word period
+// (k < 6) are a fill with a precomputed period word, wider ones are written
+// as whole runs of 2^(k-6) zero words then one words, so no per-bit or
+// per-word modular arithmetic survives on the hot path.
 func (v *Vector) Had(k int) {
 	if k < 0 || k >= v.ways {
 		panic(fmt.Sprintf("aob: had channel-set index %d out of range [0,%d)", k, v.ways))
 	}
+	w := v.words
 	if k >= 6 {
 		// Whole words alternate between all-zero and all-one in runs of
-		// 2^(k-6) words.
+		// 2^(k-6) words; len(w) is a multiple of 2*run because ways > k.
 		run := 1 << uint(k-6)
-		for i := range v.words {
-			if (i/run)%2 == 1 {
-				v.words[i] = ^uint64(0)
-			} else {
-				v.words[i] = 0
+		for i := 0; i < len(w); i += 2 * run {
+			zero, one := w[i:i+run], w[i+run:i+2*run]
+			for j := range zero {
+				zero[j] = 0
+			}
+			for j := range one {
+				one[j] = ^uint64(0)
 			}
 		}
 		return
 	}
-	// Pattern repeats within a single word: 2^k zeros then 2^k ones.
-	var pat uint64
-	for bit := uint(0); bit < wordBits; bit++ {
-		if (bit>>uint(k))&1 == 1 {
-			pat |= uint64(1) << bit
-		}
+	pat := hadPats[k]
+	last := len(w) - 1
+	for i := 0; i < last; i++ {
+		w[i] = pat
 	}
-	for i := range v.words {
-		v.words[i] = pat
-	}
-	v.clampTail()
+	w[last] = pat & v.lastWordMask()
 }
 
 // HadVector returns a fresh ways-way vector holding Hadamard pattern k.
@@ -198,13 +217,28 @@ func (v *Vector) Meas(ch uint64) uint64 {
 	return 0
 }
 
+// The binary and ternary word loops below share one shape: operand slices
+// are re-sliced to the destination length up front (hoisting the bounds
+// checks out of the loop) and the body runs four words per iteration with a
+// scalar tail. On the paper's 16-way hardware a register is 1024 words, so
+// the unrolled body carries essentially the whole operation.
+
 // And sets v = a AND b channel-wise (Qat "and @a,@b,@c"). The operand
 // vectors may alias v.
 func (v *Vector) And(a, b *Vector) {
 	v.mustMatch(a)
 	v.mustMatch(b)
-	for i := range v.words {
-		v.words[i] = a.words[i] & b.words[i]
+	vw := v.words
+	aw, bw := a.words[:len(vw)], b.words[:len(vw)]
+	i := 0
+	for ; i+4 <= len(vw); i += 4 {
+		vw[i] = aw[i] & bw[i]
+		vw[i+1] = aw[i+1] & bw[i+1]
+		vw[i+2] = aw[i+2] & bw[i+2]
+		vw[i+3] = aw[i+3] & bw[i+3]
+	}
+	for ; i < len(vw); i++ {
+		vw[i] = aw[i] & bw[i]
 	}
 }
 
@@ -212,8 +246,17 @@ func (v *Vector) And(a, b *Vector) {
 func (v *Vector) Or(a, b *Vector) {
 	v.mustMatch(a)
 	v.mustMatch(b)
-	for i := range v.words {
-		v.words[i] = a.words[i] | b.words[i]
+	vw := v.words
+	aw, bw := a.words[:len(vw)], b.words[:len(vw)]
+	i := 0
+	for ; i+4 <= len(vw); i += 4 {
+		vw[i] = aw[i] | bw[i]
+		vw[i+1] = aw[i+1] | bw[i+1]
+		vw[i+2] = aw[i+2] | bw[i+2]
+		vw[i+3] = aw[i+3] | bw[i+3]
+	}
+	for ; i < len(vw); i++ {
+		vw[i] = aw[i] | bw[i]
 	}
 }
 
@@ -221,17 +264,30 @@ func (v *Vector) Or(a, b *Vector) {
 func (v *Vector) Xor(a, b *Vector) {
 	v.mustMatch(a)
 	v.mustMatch(b)
-	for i := range v.words {
-		v.words[i] = a.words[i] ^ b.words[i]
+	vw := v.words
+	aw, bw := a.words[:len(vw)], b.words[:len(vw)]
+	i := 0
+	for ; i+4 <= len(vw); i += 4 {
+		vw[i] = aw[i] ^ bw[i]
+		vw[i+1] = aw[i+1] ^ bw[i+1]
+		vw[i+2] = aw[i+2] ^ bw[i+2]
+		vw[i+3] = aw[i+3] ^ bw[i+3]
+	}
+	for ; i < len(vw); i++ {
+		vw[i] = aw[i] ^ bw[i]
 	}
 }
 
 // Not flips every channel of v in place (Qat "not @a", the Pauli-X analog).
+// The tail clamp is fused into the complement: the final word is flipped and
+// masked in one write instead of a second pass.
 func (v *Vector) Not() {
-	for i := range v.words {
-		v.words[i] = ^v.words[i]
+	w := v.words
+	last := len(w) - 1
+	for i := 0; i < last; i++ {
+		w[i] = ^w[i]
 	}
-	v.clampTail()
+	w[last] = ^w[last] & v.lastWordMask()
 }
 
 // CNot implements the Qat "cnot @a,@b" controlled-NOT: v ^= ctrl. The
@@ -239,8 +295,17 @@ func (v *Vector) Not() {
 // is "cnot @a,@a" and correctly zeroes the register).
 func (v *Vector) CNot(ctrl *Vector) {
 	v.mustMatch(ctrl)
-	for i := range v.words {
-		v.words[i] ^= ctrl.words[i]
+	vw := v.words
+	cw := ctrl.words[:len(vw)]
+	i := 0
+	for ; i+4 <= len(vw); i += 4 {
+		vw[i] ^= cw[i]
+		vw[i+1] ^= cw[i+1]
+		vw[i+2] ^= cw[i+2]
+		vw[i+3] ^= cw[i+3]
+	}
+	for ; i < len(vw); i++ {
+		vw[i] ^= cw[i]
 	}
 }
 
@@ -249,16 +314,27 @@ func (v *Vector) CNot(ctrl *Vector) {
 func (v *Vector) CCNot(b, c *Vector) {
 	v.mustMatch(b)
 	v.mustMatch(c)
-	for i := range v.words {
-		v.words[i] ^= b.words[i] & c.words[i]
+	vw := v.words
+	bw, cw := b.words[:len(vw)], c.words[:len(vw)]
+	i := 0
+	for ; i+4 <= len(vw); i += 4 {
+		vw[i] ^= bw[i] & cw[i]
+		vw[i+1] ^= bw[i+1] & cw[i+1]
+		vw[i+2] ^= bw[i+2] & cw[i+2]
+		vw[i+3] ^= bw[i+3] & cw[i+3]
+	}
+	for ; i < len(vw); i++ {
+		vw[i] ^= bw[i] & cw[i]
 	}
 }
 
 // Swap exchanges the contents of v and o (Qat "swap @a,@b").
 func (v *Vector) Swap(o *Vector) {
 	v.mustMatch(o)
-	for i := range v.words {
-		v.words[i], o.words[i] = o.words[i], v.words[i]
+	vw := v.words
+	ow := o.words[:len(vw)]
+	for i := range vw {
+		vw[i], ow[i] = ow[i], vw[i]
 	}
 }
 
@@ -270,10 +346,12 @@ func (v *Vector) Swap(o *Vector) {
 func (v *Vector) CSwap(o, ctrl *Vector) {
 	v.mustMatch(o)
 	v.mustMatch(ctrl)
-	for i := range v.words {
-		diff := (v.words[i] ^ o.words[i]) & ctrl.words[i]
-		v.words[i] ^= diff
-		o.words[i] ^= diff
+	vw := v.words
+	ow, cw := o.words[:len(vw)], ctrl.words[:len(vw)]
+	for i := range vw {
+		diff := (vw[i] ^ ow[i]) & cw[i]
+		vw[i] ^= diff
+		ow[i] ^= diff
 	}
 }
 
@@ -314,43 +392,65 @@ func (v *Vector) PopAfter(ch uint64) uint64 {
 	ch &= v.chanMask()
 	wi := int(ch / wordBits)
 	within := ch % wordBits
-	var n int
 	w := v.words[wi]
 	if within != wordBits-1 {
 		w &= ^uint64(0) << (within + 1)
 	} else {
 		w = 0
 	}
-	n += bits.OnesCount64(w)
-	for i := wi + 1; i < len(v.words); i++ {
-		n += bits.OnesCount64(v.words[i])
-	}
-	return uint64(n)
+	return uint64(bits.OnesCount64(w)) + popWords(v.words[wi+1:])
 }
 
 // Pop returns the total population count: the number of channels holding 1,
 // i.e. the probability of this pbit being 1 in parts per 2^E.
 func (v *Vector) Pop() uint64 {
-	var n int
-	for _, w := range v.words {
-		n += bits.OnesCount64(w)
+	return popWords(v.words)
+}
+
+// popWords is the batched OnesCount64 reduction shared by Pop and PopAfter:
+// four independent popcount accumulators per iteration so the counts issue
+// in parallel instead of serializing on one add chain.
+func popWords(w []uint64) uint64 {
+	var n0, n1, n2, n3 int
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		n0 += bits.OnesCount64(w[i])
+		n1 += bits.OnesCount64(w[i+1])
+		n2 += bits.OnesCount64(w[i+2])
+		n3 += bits.OnesCount64(w[i+3])
 	}
-	return uint64(n)
+	for ; i < len(w); i++ {
+		n0 += bits.OnesCount64(w[i])
+	}
+	return uint64(n0 + n1 + n2 + n3)
 }
 
-// Any reports whether any channel holds a 1 (the ANY reduction). It is
-// composed exactly as the paper describes: Next past channel 0, falling back
-// to Meas of channel 0.
+// Any reports whether any channel holds a 1 (the ANY reduction). The
+// hardware composes it as Next past channel 0 OR Meas of channel 0; a direct
+// word scan computes the identical answer without the trailing-zero
+// bookkeeping, exiting at the first nonzero word.
 func (v *Vector) Any() bool {
-	return v.Next(0) != 0 || v.Get(0)
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
 }
 
-// All reports whether every channel holds a 1 (the ALL reduction), computed
-// as NOT(ANY(NOT v)) per the paper, without mutating v.
+// All reports whether every channel holds a 1 (the ALL reduction),
+// NOT(ANY(NOT v)) per the paper. Complementing word by word against the tail
+// mask makes the check allocation-free: every non-final word must be all
+// ones, the final word must match the valid-bit mask exactly.
 func (v *Vector) All() bool {
-	n := v.Clone()
-	n.Not()
-	return !n.Any()
+	w := v.words
+	last := len(w) - 1
+	for i := 0; i < last; i++ {
+		if w[i] != ^uint64(0) {
+			return false
+		}
+	}
+	return w[last] == v.lastWordMask()
 }
 
 // Equal reports whether v and o hold identical bit patterns. Vectors of

@@ -98,6 +98,17 @@ func NewWithConstants(ways int) *Machine {
 	return &Machine{Mem: make([]uint16, MemWords), Qat: qat.NewWithConstants(ways)}
 }
 
+// NewFromConfig builds a machine whose Qat coprocessor is selected by cfg —
+// the constructor that reaches the RE compressed backend (and, through it,
+// entanglement beyond the dense 16-way limit).
+func NewFromConfig(cfg qat.Config) (*Machine, error) {
+	q, err := qat.NewFromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Mem: make([]uint16, MemWords), Qat: q}, nil
+}
+
 // Load installs an assembled program image at address 0 and resets the
 // whole machine: PC, registers, memory, statistics, and the Qat register
 // file (its reserved constant bank, if any, is preserved). A machine can

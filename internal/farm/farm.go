@@ -39,6 +39,7 @@ import (
 	"tangled/internal/memo"
 	"tangled/internal/obs"
 	"tangled/internal/pipeline"
+	"tangled/internal/qat"
 )
 
 // Mode selects which machine model executes a job.
@@ -76,11 +77,23 @@ type Job struct {
 
 	// Ways is the Qat entanglement degree for Functional jobs; 0 means the
 	// paper's full 16-way hardware. Ignored by Pipelined jobs, whose
-	// Pipeline config carries its own Ways.
+	// Pipeline config carries its own Ways. The RE backend accepts up to
+	// qat.MaxREWays; the dense backend up to aob.MaxWays.
 	Ways int
 	// ConstantRegs selects the Section 5 constant-register Qat variant for
 	// Functional jobs. Ignored by Pipelined jobs (see pipeline.Config).
 	ConstantRegs bool
+	// Backend selects the Qat register file for Functional jobs: "" or
+	// qat.BackendDense for the AoB file, qat.BackendRE for the compressed
+	// one (docs/BACKENDS.md). Pipelined jobs reject a non-dense backend.
+	Backend string
+	// REChunkWays is the RE backend's symbol size; 0 means the default
+	// (min(Ways, aob.MaxWays)). Ignored by the dense backend.
+	REChunkWays int
+	// RESpillRuns is the RE backend's spill budget; 0 means
+	// qat.DefaultSpillRuns, negative disables spilling. Ignored by the
+	// dense backend.
+	RESpillRuns int
 	// Pipeline configures Pipelined jobs; the zero value means
 	// pipeline.DefaultConfig().
 	Pipeline pipeline.Config
@@ -369,22 +382,23 @@ func joinContext(batch, job context.Context) (context.Context, context.CancelFun
 }
 
 func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, maxSteps uint64, res *Result, bc *batchCounters, o *Obs) {
-	ways := j.Ways
-	if ways == 0 {
-		ways = aob.MaxWays
-	}
-	if ways < 0 || ways > aob.MaxWays {
-		res.Err = fmt.Errorf("farm: ways %d out of range [0,%d]", ways, aob.MaxWays)
+	cfg, err := j.qatConfig()
+	if err != nil {
+		res.Err = err
 		return
 	}
-	pool := e.pool(poolKey{ways: ways, constRegs: j.ConstantRegs})
+	pool := e.pool(poolKey{ways: cfg.Ways, constRegs: cfg.ConstantRegs,
+		backend: cfg.Backend, chunkWays: cfg.ChunkWays, spillRuns: cfg.SpillRuns})
 	var m *cpu.Machine
 	if v := pool.get(bc); v != nil {
 		m = v.(*cpu.Machine)
-	} else if j.ConstantRegs {
-		m = cpu.NewWithConstants(ways)
 	} else {
-		m = cpu.New(ways)
+		m, err = cpu.NewFromConfig(cfg)
+		if err != nil {
+			bc.unalloc() // nothing was constructed; the miss never became a machine
+			res.Err = err
+			return
+		}
 	}
 	defer func() {
 		// Detach every host-side attachment and restore default hardware
@@ -411,7 +425,7 @@ func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, m
 		res.Err = err
 		return
 	}
-	err := m.RunContext(ctx, maxSteps)
+	err = m.RunContext(ctx, maxSteps)
 	res.Regs = m.Regs
 	res.Output = out.String()
 	res.Insts = m.Stats.Insts
@@ -421,7 +435,53 @@ func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, m
 	}
 }
 
+// qatConfig resolves a Functional job's machine configuration into canonical
+// form — defaults made explicit — so equivalent spellings share pool and
+// memo identity, and validates it with farm-level errors.
+func (j *Job) qatConfig() (qat.Config, error) {
+	cfg := qat.Config{Ways: j.Ways, ConstantRegs: j.ConstantRegs, Backend: j.Backend,
+		ChunkWays: j.REChunkWays, SpillRuns: j.RESpillRuns}
+	if cfg.Ways == 0 {
+		cfg.Ways = aob.MaxWays
+	}
+	switch cfg.Backend {
+	case "", qat.BackendDense:
+		cfg.Backend = qat.BackendDense
+		cfg.ChunkWays, cfg.SpillRuns = 0, 0
+		if cfg.Ways < 0 || cfg.Ways > aob.MaxWays {
+			return cfg, fmt.Errorf("farm: ways %d out of range [0,%d]", cfg.Ways, aob.MaxWays)
+		}
+	case qat.BackendRE:
+		if cfg.Ways < 0 || cfg.Ways > qat.MaxREWays {
+			return cfg, fmt.Errorf("farm: re ways %d out of range [0,%d]", cfg.Ways, qat.MaxREWays)
+		}
+		if cfg.ChunkWays == 0 {
+			cfg.ChunkWays = cfg.Ways
+			if cfg.ChunkWays > aob.MaxWays {
+				cfg.ChunkWays = aob.MaxWays
+			}
+		}
+		if cfg.ChunkWays < 0 || cfg.ChunkWays > aob.MaxWays || cfg.ChunkWays > cfg.Ways {
+			return cfg, fmt.Errorf("farm: re chunk ways %d out of range [0,min(%d,ways)]",
+				j.REChunkWays, aob.MaxWays)
+		}
+		if cfg.SpillRuns == 0 {
+			cfg.SpillRuns = qat.DefaultSpillRuns
+		}
+		if cfg.Ways > aob.MaxWays || cfg.SpillRuns < 0 {
+			cfg.SpillRuns = -1 // no dense form exists to spill into
+		}
+	default:
+		return cfg, fmt.Errorf("farm: unknown backend %q", j.Backend)
+	}
+	return cfg, nil
+}
+
 func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, maxCycles uint64, res *Result, bc *batchCounters, o *Obs) {
+	if j.Backend != "" && j.Backend != qat.BackendDense {
+		res.Err = fmt.Errorf("farm: pipelined jobs support only the dense backend (got %q)", j.Backend)
+		return
+	}
 	cfg := j.Pipeline
 	if cfg == (pipeline.Config{}) {
 		cfg = pipeline.DefaultConfig()

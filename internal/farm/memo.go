@@ -16,10 +16,10 @@ package farm
 // caller-controlled opt-out for everything else.
 
 import (
-	"tangled/internal/aob"
 	"tangled/internal/asm"
 	"tangled/internal/memo"
 	"tangled/internal/pipeline"
+	"tangled/internal/qat"
 )
 
 // SetMemo attaches (or with nil detaches) the engine-wide execution cache.
@@ -60,12 +60,17 @@ func jobKey(j *Job, prog *asm.Program, maxSteps uint64) memo.Key {
 		}
 		ek.Pipeline = cfg
 	} else {
-		ways := j.Ways
-		if ways == 0 {
-			ways = aob.MaxWays
+		// qatConfig resolves every default (ways 0, backend "", chunk/spill
+		// zeros), so equivalent spellings hash identically. Invalid configs
+		// still key consistently; the execution path reports their error.
+		cfg, _ := j.qatConfig()
+		ek.Ways = cfg.Ways
+		ek.ConstantRegs = cfg.ConstantRegs
+		if cfg.Backend == qat.BackendRE {
+			ek.Backend = 1
+			ek.REChunkWays = uint8(cfg.ChunkWays)
+			ek.RESpillRuns = int32(cfg.SpillRuns)
 		}
-		ek.Ways = ways
-		ek.ConstantRegs = j.ConstantRegs
 	}
 	return ek.Sum()
 }

@@ -15,6 +15,12 @@ type poolKey struct {
 	pipelined bool
 	ways      int
 	constRegs bool
+	// backend/chunkWays/spillRuns carry the canonical (post-default) Qat
+	// register-file selection of functional jobs; machines with different
+	// compressed-file geometry are not interchangeable.
+	backend   string
+	chunkWays int
+	spillRuns int
 	pcfg      pipeline.Config
 }
 

@@ -64,6 +64,14 @@ type ExecKey struct {
 	// Pipeline is the pipelined organization (the zero value for
 	// functional executions).
 	Pipeline pipeline.Config
+	// Backend selects the functional coprocessor's register-file
+	// representation: 0 dense, 1 run-encoded. REChunkWays and RESpillRuns
+	// only apply to the run-encoded backend and must be the canonical
+	// post-default values (dense executions leave all three zero, keeping
+	// their keys byte-identical to the pre-backend schema).
+	Backend     uint8
+	REChunkWays uint8
+	RESpillRuns int32
 	// MaxSteps is the instruction (functional) or cycle (pipelined)
 	// budget. It is part of the key because budget exhaustion is a
 	// deterministic, cacheable outcome that depends on it.
@@ -103,7 +111,10 @@ func (k ExecKey) Sum() Key {
 	binary.LittleEndian.PutUint32(hdr[17:], uint32(k.Pipeline.QatNextLatency))
 	binary.LittleEndian.PutUint64(hdr[21:], k.MaxSteps)
 	binary.LittleEndian.PutUint64(hdr[29:], uint64(len(k.Words)))
-	// hdr[37:45] reserved (zero): room for future fields without reflowing
+	hdr[37] = k.Backend
+	hdr[38] = k.REChunkWays
+	binary.LittleEndian.PutUint32(hdr[39:], uint32(k.RESpillRuns))
+	// hdr[43:45] reserved (zero): room for future fields without reflowing
 	// the layout.
 	h.Write(hdr[:])
 	buf := make([]byte, 2*len(k.Words))

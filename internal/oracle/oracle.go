@@ -1,0 +1,399 @@
+// Package oracle is the shared differential/property test layer for the
+// pbit execution backends. It defines a deliberately naive bit-at-a-time
+// reference model (Value, RefBackend), a Backend interface every real
+// representation adapts to (dense AoB kernels, the Qat coprocessor on
+// either register file), a byte-decoded op-sequence runner for fuzzing, and
+// the algebraic property checks the paper's gate set must satisfy.
+//
+// The package is test support but not a _test package: farm, server, and
+// fuzz harnesses in several packages drive it, so it follows the farmtest
+// convention — importable, no testing dependency, error-returning API.
+package oracle
+
+import (
+	"fmt"
+
+	"tangled/internal/aob"
+)
+
+// Op enumerates the abstract pbit operations a Backend executes. The
+// numbering is the wire format of RunSequence's byte decoder, so it is
+// frozen: fuzz corpora encode it.
+type Op byte
+
+const (
+	OpZero Op = iota
+	OpOne
+	OpHad
+	OpNot
+	OpAnd
+	OpOr
+	OpXor
+	OpCNot
+	OpCCNot
+	OpSwap
+	OpCSwap
+	OpMeas
+	OpNext
+	OpPopAfter
+	OpPop
+	numOps
+)
+
+var opNames = [numOps]string{
+	"zero", "one", "had", "not", "and", "or", "xor",
+	"cnot", "ccnot", "swap", "cswap", "meas", "next", "popafter", "pop",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// IsReduction reports whether the op returns a scalar instead of writing a
+// register.
+func (o Op) IsReduction() bool { return o >= OpMeas }
+
+// Inst is one abstract operation: D is the destination (and first operand
+// for the in-place gates), S and U the source registers, K the Hadamard
+// index, Ch the reduction probe channel.
+type Inst struct {
+	Op   Op
+	D    int
+	S, U int
+	K    int
+	Ch   uint64
+}
+
+// Backend is a pbit register file under test.
+type Backend interface {
+	// Name labels the backend in error messages.
+	Name() string
+	// Ways is the entanglement degree.
+	Ways() int
+	// NumRegs is the register-file size the backend was built with.
+	NumRegs() int
+	// Apply executes a register-writing op.
+	Apply(inst Inst) error
+	// Reduce executes a scalar-producing op on register inst.D at channel
+	// inst.Ch.
+	Reduce(inst Inst) (uint64, error)
+	// Read dumps register d as channel-0-first bits.
+	Read(d int) ([]bool, error)
+}
+
+// Value is the naive model of one pbit register: a channel-indexed bool
+// slice with every operation written as the obvious loop. Slow on purpose —
+// it is the specification the fast representations are judged against.
+type Value []bool
+
+// NewValue returns an all-zero value with 2^ways channels.
+func NewValue(ways int) Value { return make(Value, uint64(1)<<uint(ways)) }
+
+func (v Value) mask() uint64 { return uint64(len(v)) - 1 }
+
+// Next returns the lowest channel strictly above ch holding true, else 0.
+func (v Value) Next(ch uint64) uint64 {
+	for c := ch + 1; c < uint64(len(v)); c++ {
+		if v[c] {
+			return c
+		}
+	}
+	return 0
+}
+
+// PopAfter counts true channels strictly above ch.
+func (v Value) PopAfter(ch uint64) uint64 {
+	var n uint64
+	for c := ch + 1; c < uint64(len(v)); c++ {
+		if v[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// Pop counts true channels.
+func (v Value) Pop() uint64 {
+	var n uint64
+	for _, b := range v {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// RefBackend is the Backend over naive Values.
+type RefBackend struct {
+	ways int
+	regs []Value
+}
+
+// NewRef builds the reference backend.
+func NewRef(ways, numRegs int) *RefBackend {
+	r := &RefBackend{ways: ways, regs: make([]Value, numRegs)}
+	for i := range r.regs {
+		r.regs[i] = NewValue(ways)
+	}
+	return r
+}
+
+func (r *RefBackend) Name() string { return "ref" }
+func (r *RefBackend) Ways() int    { return r.ways }
+func (r *RefBackend) NumRegs() int { return len(r.regs) }
+
+func (r *RefBackend) Apply(inst Inst) error {
+	d, s, u := r.regs[inst.D], r.regs[inst.S], r.regs[inst.U]
+	switch inst.Op {
+	case OpZero:
+		for c := range d {
+			d[c] = false
+		}
+	case OpOne:
+		for c := range d {
+			d[c] = true
+		}
+	case OpHad:
+		if inst.K < 0 || inst.K >= r.ways {
+			return fmt.Errorf("ref: had %d out of range", inst.K)
+		}
+		for c := range d {
+			d[c] = (c>>uint(inst.K))&1 == 1
+		}
+	case OpNot:
+		for c := range d {
+			d[c] = !d[c]
+		}
+	case OpAnd:
+		for c := range d {
+			d[c] = s[c] && u[c]
+		}
+	case OpOr:
+		for c := range d {
+			d[c] = s[c] || u[c]
+		}
+	case OpXor:
+		for c := range d {
+			d[c] = s[c] != u[c]
+		}
+	case OpCNot:
+		for c := range d {
+			d[c] = d[c] != s[c]
+		}
+	case OpCCNot:
+		for c := range d {
+			d[c] = d[c] != (s[c] && u[c])
+		}
+	case OpSwap:
+		for c := range d {
+			d[c], s[c] = s[c], d[c]
+		}
+	case OpCSwap:
+		for c := range d {
+			if u[c] {
+				d[c], s[c] = s[c], d[c]
+			}
+		}
+	default:
+		return fmt.Errorf("ref: %s is not a register op", inst.Op)
+	}
+	return nil
+}
+
+func (r *RefBackend) Reduce(inst Inst) (uint64, error) {
+	d := r.regs[inst.D]
+	ch := inst.Ch & d.mask()
+	switch inst.Op {
+	case OpMeas:
+		if d[ch] {
+			return 1, nil
+		}
+		return 0, nil
+	case OpNext:
+		return d.Next(ch), nil
+	case OpPopAfter:
+		return d.PopAfter(ch), nil
+	case OpPop:
+		return d.Pop(), nil
+	}
+	return 0, fmt.Errorf("ref: %s is not a reduction", inst.Op)
+}
+
+func (r *RefBackend) Read(d int) ([]bool, error) {
+	out := make([]bool, len(r.regs[d]))
+	copy(out, r.regs[d])
+	return out, nil
+}
+
+// DenseBackend drives the aob SWAR kernels directly (no Qat dispatch),
+// isolating the kernel layer in differential runs.
+type DenseBackend struct {
+	ways int
+	regs []*aob.Vector
+}
+
+// NewDense builds the raw-kernel backend.
+func NewDense(ways, numRegs int) *DenseBackend {
+	b := &DenseBackend{ways: ways, regs: make([]*aob.Vector, numRegs)}
+	for i := range b.regs {
+		b.regs[i] = aob.New(ways)
+	}
+	return b
+}
+
+func (b *DenseBackend) Name() string { return "dense" }
+func (b *DenseBackend) Ways() int    { return b.ways }
+func (b *DenseBackend) NumRegs() int { return len(b.regs) }
+
+func (b *DenseBackend) Apply(inst Inst) error {
+	d, s, u := b.regs[inst.D], b.regs[inst.S], b.regs[inst.U]
+	switch inst.Op {
+	case OpZero:
+		d.Zero()
+	case OpOne:
+		d.One()
+	case OpHad:
+		if inst.K < 0 || inst.K >= b.ways {
+			return fmt.Errorf("dense: had %d out of range", inst.K)
+		}
+		d.Had(inst.K)
+	case OpNot:
+		d.Not()
+	case OpAnd:
+		d.And(s, u)
+	case OpOr:
+		d.Or(s, u)
+	case OpXor:
+		d.Xor(s, u)
+	case OpCNot:
+		d.CNot(s)
+	case OpCCNot:
+		d.CCNot(s, u)
+	case OpSwap:
+		if inst.D != inst.S {
+			d.Swap(s)
+		}
+	case OpCSwap:
+		if inst.D != inst.S {
+			d.CSwap(s, u)
+		}
+	default:
+		return fmt.Errorf("dense: %s is not a register op", inst.Op)
+	}
+	return nil
+}
+
+func (b *DenseBackend) Reduce(inst Inst) (uint64, error) {
+	d := b.regs[inst.D]
+	switch inst.Op {
+	case OpMeas:
+		return d.Meas(inst.Ch), nil
+	case OpNext:
+		return d.Next(inst.Ch), nil
+	case OpPopAfter:
+		return d.PopAfter(inst.Ch), nil
+	case OpPop:
+		return d.Pop(), nil
+	}
+	return 0, fmt.Errorf("dense: %s is not a reduction", inst.Op)
+}
+
+func (b *DenseBackend) Read(d int) ([]bool, error) { return b.regs[d].Bits(), nil }
+
+// Diff compares every register of two backends channel by channel and
+// returns a located error on the first divergence.
+func Diff(a, b Backend) error {
+	if a.Ways() != b.Ways() {
+		return fmt.Errorf("oracle: ways %d (%s) vs %d (%s)", a.Ways(), a.Name(), b.Ways(), b.Name())
+	}
+	n := a.NumRegs()
+	if bn := b.NumRegs(); bn < n {
+		n = bn
+	}
+	for d := 0; d < n; d++ {
+		av, err := a.Read(d)
+		if err != nil {
+			return fmt.Errorf("oracle: read %s reg %d: %w", a.Name(), d, err)
+		}
+		bv, err := b.Read(d)
+		if err != nil {
+			return fmt.Errorf("oracle: read %s reg %d: %w", b.Name(), d, err)
+		}
+		for c := range av {
+			if av[c] != bv[c] {
+				return fmt.Errorf("oracle: reg %d channel %d: %s=%v %s=%v",
+					d, c, a.Name(), av[c], b.Name(), bv[c])
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeSequence turns a byte stream into a bounded op sequence over
+// numRegs registers at the given ways — the shared encoding of the fuzzers.
+// Each instruction consumes three bytes: opcode, packed registers, probe.
+func DecodeSequence(data []byte, ways, numRegs int) []Inst {
+	var seq []Inst
+	for len(data) >= 3 {
+		inst := Inst{
+			Op: Op(data[0] % byte(numOps)),
+			D:  int(data[1]) % numRegs,
+			S:  int(data[1]>>4) % numRegs,
+			U:  int(data[2]) % numRegs,
+			Ch: uint64(data[1])<<8 | uint64(data[2]),
+		}
+		if ways > 0 {
+			inst.K = int(data[2]>>4) % ways
+		}
+		data = data[3:]
+		seq = append(seq, inst)
+	}
+	return seq
+}
+
+// RunSequence executes one instruction sequence on every backend in
+// lockstep, comparing scalar results per step and full register state at the
+// end. backends[0] is the authority named in mismatch errors.
+func RunSequence(seq []Inst, backends ...Backend) error {
+	if len(backends) == 0 {
+		return nil
+	}
+	for step, inst := range seq {
+		if inst.Op.IsReduction() {
+			want, err := backends[0].Reduce(inst)
+			if err != nil {
+				return fmt.Errorf("oracle: step %d %s on %s: %w", step, inst.Op, backends[0].Name(), err)
+			}
+			for _, b := range backends[1:] {
+				got, err := b.Reduce(inst)
+				if err != nil {
+					return fmt.Errorf("oracle: step %d %s on %s: %w", step, inst.Op, b.Name(), err)
+				}
+				if got != want {
+					return fmt.Errorf("oracle: step %d %s(reg %d, ch %d): %s=%d %s=%d",
+						step, inst.Op, inst.D, inst.Ch, backends[0].Name(), want, b.Name(), got)
+				}
+			}
+			continue
+		}
+		// Swap-family self-targeting differs per representation; normalize
+		// the degenerate case away at the spec level.
+		if (inst.Op == OpSwap || inst.Op == OpCSwap) && inst.D == inst.S {
+			continue
+		}
+		for _, b := range backends {
+			if err := b.Apply(inst); err != nil {
+				return fmt.Errorf("oracle: step %d %s on %s: %w", step, inst.Op, b.Name(), err)
+			}
+		}
+	}
+	for _, b := range backends[1:] {
+		if err := Diff(backends[0], b); err != nil {
+			return fmt.Errorf("oracle: after %d steps: %w", len(seq), err)
+		}
+	}
+	return nil
+}

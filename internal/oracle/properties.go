@@ -1,0 +1,198 @@
+package oracle
+
+// Algebraic property checks over any Backend. Each check assumes registers
+// 0 and 1 hold the operands under test (put there with Scramble or explicit
+// ops) and uses registers 2..5 as scratch, so backends need NumRegs >= 6.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scramble drives a deterministic pseudo-random register-op sequence (no
+// reductions) so every backend given the same seed holds identical, rich
+// state. It only touches registers [0, regs).
+func Scramble(b Backend, seed int64, steps, regs int) error {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		inst := Inst{
+			Op: Op(r.Intn(int(OpCSwap) + 1)), // register ops only
+			D:  r.Intn(regs),
+			S:  r.Intn(regs),
+			U:  r.Intn(regs),
+		}
+		if b.Ways() > 0 {
+			inst.K = r.Intn(b.Ways())
+		} else if inst.Op == OpHad {
+			continue // no Hadamard patterns at 0 ways
+		}
+		if (inst.Op == OpSwap || inst.Op == OpCSwap) && inst.D == inst.S {
+			continue
+		}
+		if err := b.Apply(inst); err != nil {
+			return fmt.Errorf("oracle: scramble step %d %s: %w", i, inst.Op, err)
+		}
+	}
+	return nil
+}
+
+// CheckDeMorgan verifies NOT(r0 AND r1) == (NOT r0) OR (NOT r1), computed
+// entirely with the backend's own gates.
+func CheckDeMorgan(b Backend) error {
+	steps := []Inst{
+		{Op: OpAnd, D: 2, S: 0, U: 1},
+		{Op: OpNot, D: 2},
+		{Op: OpXor, D: 3, S: 0, U: 0}, // 3 = 0 (zero via x^x)
+		{Op: OpCNot, D: 3, S: 0},      // 3 = r0
+		{Op: OpNot, D: 3},
+		{Op: OpXor, D: 4, S: 1, U: 1},
+		{Op: OpCNot, D: 4, S: 1},
+		{Op: OpNot, D: 4},
+		{Op: OpOr, D: 5, S: 3, U: 4},
+	}
+	for _, inst := range steps {
+		if err := b.Apply(inst); err != nil {
+			return fmt.Errorf("oracle: de morgan %s: %w", inst.Op, err)
+		}
+	}
+	lhs, err := b.Read(2)
+	if err != nil {
+		return err
+	}
+	rhs, err := b.Read(5)
+	if err != nil {
+		return err
+	}
+	for c := range lhs {
+		if lhs[c] != rhs[c] {
+			return fmt.Errorf("oracle: %s violates De Morgan at channel %d", b.Name(), c)
+		}
+	}
+	return nil
+}
+
+// CheckXorAddMod2 verifies XOR is channel-wise addition mod 2: the gate
+// result of r0 XOR r1 must equal (bit0 + bit1) mod 2 everywhere.
+func CheckXorAddMod2(b Backend) error {
+	if err := b.Apply(Inst{Op: OpXor, D: 2, S: 0, U: 1}); err != nil {
+		return err
+	}
+	a, err := b.Read(0)
+	if err != nil {
+		return err
+	}
+	x, err := b.Read(1)
+	if err != nil {
+		return err
+	}
+	got, err := b.Read(2)
+	if err != nil {
+		return err
+	}
+	for c := range got {
+		ai, xi := 0, 0
+		if a[c] {
+			ai = 1
+		}
+		if x[c] {
+			xi = 1
+		}
+		if want := (ai+xi)%2 == 1; got[c] != want {
+			return fmt.Errorf("oracle: %s xor != add mod 2 at channel %d", b.Name(), c)
+		}
+	}
+	return nil
+}
+
+// CheckNextEnumeration verifies that iterating Next from channel 0 (plus
+// Meas of channel 0, the paper's ANY composition) enumerates exactly the
+// set channels of register 0, strictly increasing.
+func CheckNextEnumeration(b Backend) error {
+	bits, err := b.Read(0)
+	if err != nil {
+		return err
+	}
+	var want []uint64
+	for c, set := range bits {
+		if set {
+			want = append(want, uint64(c))
+		}
+	}
+	var got []uint64
+	if m, err := b.Reduce(Inst{Op: OpMeas, D: 0, Ch: 0}); err != nil {
+		return err
+	} else if m == 1 {
+		got = append(got, 0)
+	}
+	ch := uint64(0)
+	for {
+		n, err := b.Reduce(Inst{Op: OpNext, D: 0, Ch: ch})
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		if n <= ch {
+			return fmt.Errorf("oracle: %s Next(%d) = %d not strictly increasing", b.Name(), ch, n)
+		}
+		got = append(got, n)
+		ch = n
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("oracle: %s Next enumerated %d channels, want %d", b.Name(), len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("oracle: %s Next enumeration[%d] = %d, want %d", b.Name(), i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// CheckPopAfterMonotone verifies PopAfter is non-increasing in the probe
+// channel and that successive differences are exactly the measured bits —
+// the discrete derivative relation that makes PopAfter a prefix-sum
+// complement.
+func CheckPopAfterMonotone(b Backend) error {
+	channels := uint64(1) << uint(b.Ways())
+	prev, err := b.Reduce(Inst{Op: OpPopAfter, D: 0, Ch: 0})
+	if err != nil {
+		return err
+	}
+	step := channels / 64
+	if step == 0 {
+		step = 1
+	}
+	for ch := step; ch < channels; ch += step {
+		cur, err := b.Reduce(Inst{Op: OpPopAfter, D: 0, Ch: ch})
+		if err != nil {
+			return err
+		}
+		if cur > prev {
+			return fmt.Errorf("oracle: %s PopAfter(%d)=%d > PopAfter(%d-step)=%d",
+				b.Name(), ch, cur, ch, prev)
+		}
+		prev = cur
+	}
+	// Pointwise: PopAfter(ch) - PopAfter(ch+1) == bit(ch+1).
+	for probe := uint64(0); probe+1 < channels; probe += step {
+		hi, err := b.Reduce(Inst{Op: OpPopAfter, D: 0, Ch: probe})
+		if err != nil {
+			return err
+		}
+		lo, err := b.Reduce(Inst{Op: OpPopAfter, D: 0, Ch: probe + 1})
+		if err != nil {
+			return err
+		}
+		bit, err := b.Reduce(Inst{Op: OpMeas, D: 0, Ch: probe + 1})
+		if err != nil {
+			return err
+		}
+		if hi-lo != bit {
+			return fmt.Errorf("oracle: %s PopAfter(%d)-PopAfter(%d) = %d, want bit %d",
+				b.Name(), probe, probe+1, hi-lo, bit)
+		}
+	}
+	return nil
+}

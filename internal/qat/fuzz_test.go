@@ -1,0 +1,75 @@
+package qat
+
+import (
+	"testing"
+
+	"tangled/internal/isa"
+)
+
+// FuzzAoBvsRE drives a random Qat instruction stream through the dense AoB
+// register file and the RE compressed one (with a tiny spill budget so the
+// spill path is constantly exercised) and asserts the two backends stay
+// channel-exact. Input encoding: byte 0 picks ways (0..8), byte 1 the chunk
+// ways, then (op, regs, k) byte triples.
+func FuzzAoBvsRE(f *testing.F) {
+	f.Add([]byte{6, 3, 2, 0x10, 1, 4, 0x21, 0, 8, 0x12, 2, 13, 0x01, 0})
+	f.Add([]byte{3, 1, 0, 0x00, 0, 9, 0x21, 0, 10, 0x31, 1})
+	f.Add([]byte{8, 4, 2, 0x01, 7, 6, 0x12, 3, 12, 0x00, 0, 11, 0x05, 0})
+	f.Add([]byte{0, 0, 1, 0x00, 0, 13, 0x00, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		ways := int(data[0] % 9)
+		chunkWays := 0
+		if ways > 0 {
+			chunkWays = int(data[1]) % (ways + 1)
+		}
+		data = data[2:]
+
+		dense, err := NewFromConfig(Config{Ways: ways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reQ, err := NewFromConfig(Config{Ways: ways, Backend: BackendRE,
+			ChunkWays: chunkWays, SpillRuns: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep the symbol table tiny so intern resets happen mid-stream.
+		reQ.Space().SetSymbolCap(16)
+
+		const numRegs = 6
+		steps := 0
+		for len(data) >= 3 {
+			op := qatOps[int(data[0])%len(qatOps)]
+			inst := isa.Inst{
+				Op: op,
+				QA: data[1] % numRegs,
+				QB: (data[1] >> 4) % numRegs,
+				QC: data[2] % numRegs,
+			}
+			if ways > 0 {
+				inst.K = (data[2] >> 4) % uint8(ways)
+			}
+			rd := uint16(data[1])<<8 | uint16(data[2])
+			data = data[3:]
+			o1, w1, e1 := dense.Exec(inst, rd)
+			o2, w2, e2 := reQ.Exec(inst, rd)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d %s: error divergence: %v vs %v", steps, op.Name(), e1, e2)
+			}
+			if o1 != o2 || w1 != w2 {
+				t.Fatalf("step %d %s: scalar divergence: (%d,%v) vs (%d,%v)",
+					steps, op.Name(), o1, w1, o2, w2)
+			}
+			steps++
+		}
+		for qa := uint8(0); qa < numRegs; qa++ {
+			dv, rv := dense.Reg(qa), reQ.Reg(qa)
+			if !dv.Equal(rv) {
+				t.Fatalf("@%d diverged after %d steps: dense %s vs re %s", qa, steps, dv, rv)
+			}
+		}
+	})
+}

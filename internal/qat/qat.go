@@ -15,12 +15,17 @@ import (
 	"tangled/internal/aob"
 	"tangled/internal/energy"
 	"tangled/internal/isa"
+	"tangled/internal/re"
 )
 
 // Coprocessor is one Qat instance.
 type Coprocessor struct {
 	ways int
 	regs [isa.NumQRegs]*aob.Vector
+
+	// re, when non-nil, replaces the dense register file above with the
+	// run-length-compressed one (see refile.go); regs stays nil-filled then.
+	re *reFile
 
 	// reserved marks registers exposed as hard-wired constants (the
 	// Section 5 simplification); writes to them report an error.
@@ -81,15 +86,52 @@ func ConstOneReg() uint8 { return 1 }
 // the NewWithConstants convention.
 func ConstHadReg(k int) uint8 { return uint8(2 + k) }
 
-// Reg exposes register qa for inspection (tests, tracing). The returned
-// vector is live state; callers must not mutate it.
-func (q *Coprocessor) Reg(qa uint8) *aob.Vector { return q.regs[qa] }
+// Reg exposes register qa for inspection (tests, tracing). On the dense
+// backend the returned vector is live state; callers must not mutate it. On
+// the RE backend it is a freshly materialized dense snapshot, which requires
+// ways <= aob.MaxWays — above that there is no dense form and Reg panics;
+// use RegPattern instead.
+func (q *Coprocessor) Reg(qa uint8) *aob.Vector {
+	if q.re == nil {
+		return q.regs[qa]
+	}
+	if d := q.re.dense[qa]; d != nil {
+		return d
+	}
+	v, err := q.re.pats[qa].ToDense()
+	if err != nil {
+		panic(fmt.Sprintf("qat: Reg(@%d) on %d-way re backend: %v", qa, q.ways, err))
+	}
+	return v
+}
+
+// RegPattern exposes register qa of the RE backend in compressed form
+// (spilled slots are recompressed transiently). It returns nil on the dense
+// backend.
+func (q *Coprocessor) RegPattern(qa uint8) *re.Pattern {
+	if q.re == nil {
+		return nil
+	}
+	return q.re.pat(qa)
+}
 
 // SetReg overwrites register qa (test fixture helper; real programs build
-// values with gates).
+// values with gates). On the RE backend the vector is compressed on entry,
+// so its ways must still match the coprocessor's — which therefore must not
+// exceed aob.MaxWays.
 func (q *Coprocessor) SetReg(qa uint8, v *aob.Vector) {
 	if v.Ways() != q.ways {
 		panic(fmt.Sprintf("qat: vector ways %d != coprocessor ways %d", v.Ways(), q.ways))
+	}
+	if q.re != nil {
+		p, err := q.re.sp.FromDense(v)
+		if err != nil {
+			panic(fmt.Sprintf("qat: SetReg(@%d): %v", qa, err))
+		}
+		if err := q.re.store(qa, p); err != nil {
+			panic(fmt.Sprintf("qat: SetReg(@%d): %v", qa, err))
+		}
+		return
 	}
 	q.regs[qa] = v.Clone()
 }
@@ -101,9 +143,21 @@ func (q *Coprocessor) SetReg(qa uint8, v *aob.Vector) {
 // left accumulating (metering spans runs by design); detach or reset it
 // separately when a machine changes tenants.
 func (q *Coprocessor) Reset() {
-	for i := range q.regs {
-		if !q.reserved[i] {
-			q.regs[i].Zero()
+	if q.re != nil {
+		zero := q.re.sp.Zero()
+		for i := range q.re.pats {
+			if !q.reserved[i] {
+				q.re.pats[i], q.re.dense[i] = zero, nil
+			}
+		}
+		// The symbol space (intern table, memo) survives a reset the same
+		// way the dense path keeps its allocations: it is a cache, bounded
+		// by its own cap, and carries no channel state.
+	} else {
+		for i := range q.regs {
+			if !q.reserved[i] {
+				q.regs[i].Zero()
+			}
 		}
 	}
 	for k := range q.Ops {
@@ -122,6 +176,9 @@ func (q *Coprocessor) checkWrite(qa uint8) error {
 // consumed by meas/next/pop; the returned value and flag report a Tangled
 // register write-back (only those three ops produce one).
 func (q *Coprocessor) Exec(inst isa.Inst, rd uint16) (out uint16, writes bool, err error) {
+	if q.re != nil {
+		return q.execRE(inst, rd)
+	}
 	q.Ops[inst.Op]++
 	a := q.regs[inst.QA]
 	if q.Metrics != nil {

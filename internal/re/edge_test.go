@@ -1,0 +1,290 @@
+package re
+
+import (
+	"math/rand"
+	"testing"
+
+	"tangled/internal/aob"
+)
+
+// Edge-case coverage the main suites miss: degenerate geometry (single
+// chunk, single channel), the wrap boundary of the Next/PopAfter reductions,
+// non-power-of-two run layouts through the FromBits/FromAoB constructors,
+// the dense bridge (FromDense/ToDense), and the bounded intern table. Every
+// compressed result is mirrored against the dense AoB reference.
+
+// densePattern materializes p as an aob.Vector via the test-side bit path,
+// independent of Pattern.ToDense, so the two can check each other.
+func densePattern(t *testing.T, p *Pattern) *aob.Vector {
+	t.Helper()
+	if p.sp.Ways() > aob.MaxWays {
+		t.Fatalf("densePattern: %d ways not materializable", p.sp.Ways())
+	}
+	v := aob.New(p.sp.Ways())
+	for ch := uint64(0); ch < p.sp.Channels(); ch++ {
+		v.Set(ch, p.Get(ch))
+	}
+	return v
+}
+
+func TestEdgeGeometries(t *testing.T) {
+	cases := []struct {
+		name            string
+		ways, chunkWays int
+	}{
+		{"single-channel", 0, 0},
+		{"one-way-chunk0", 1, 0},
+		{"chunk-equals-ways-small", 3, 3},
+		{"chunk-equals-ways-word", 6, 6},
+		{"chunk-equals-ways-multiword", 8, 8},
+		{"subword-chunks", 7, 3},
+		{"word-chunks", 9, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := MustSpace(tc.ways, tc.chunkWays)
+			r := rand.New(rand.NewSource(int64(tc.ways)*31 + int64(tc.chunkWays)))
+			for trial := 0; trial < 20; trial++ {
+				bits := randBits(r, s.Channels(), 0.5)
+				p, err := s.FromBits(bits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := densePattern(t, p)
+				for ch := uint64(0); ch < s.Channels(); ch++ {
+					if p.Get(ch) != (bits[ch]) {
+						t.Fatalf("get(%d) mismatch", ch)
+					}
+					if p.Next(ch) != ref.Next(ch) {
+						t.Fatalf("next(%d): re %d dense %d", ch, p.Next(ch), ref.Next(ch))
+					}
+					if p.PopAfter(ch) != ref.PopAfter(ch) {
+						t.Fatalf("popAfter(%d): re %d dense %d", ch, p.PopAfter(ch), ref.PopAfter(ch))
+					}
+				}
+				if p.Pop() != ref.Pop() {
+					t.Fatalf("pop: re %d dense %d", p.Pop(), ref.Pop())
+				}
+				if p.Any() != ref.Any() || p.All() != ref.All() {
+					t.Fatalf("any/all mismatch")
+				}
+			}
+		})
+	}
+}
+
+// TestWrapBoundary pins the semantics at the very top of the channel space:
+// probing from the last channel must wrap to "nothing after".
+func TestWrapBoundary(t *testing.T) {
+	for _, geo := range [][2]int{{0, 0}, {4, 2}, {8, 6}, {10, 4}} {
+		s := MustSpace(geo[0], geo[1])
+		p := s.One()
+		lastCh := s.Channels() - 1
+		if got := p.Next(lastCh); got != 0 {
+			t.Fatalf("ways=%d next(last) = %d, want 0", geo[0], got)
+		}
+		if got := p.PopAfter(lastCh); got != 0 {
+			t.Fatalf("ways=%d popAfter(last) = %d, want 0", geo[0], got)
+		}
+		// Modulo semantics: probing at Channels() is probing at 0.
+		dense := densePattern(t, p)
+		if p.Next(s.Channels()) != dense.Next(0) {
+			t.Fatalf("ways=%d next wrap-probe mismatch", geo[0])
+		}
+		if p.PopAfter(s.Channels()) != dense.PopAfter(0) {
+			t.Fatalf("ways=%d popAfter wrap-probe mismatch", geo[0])
+		}
+	}
+}
+
+// TestNonPowerOfTwoRunLayouts pushes patterns whose run counts are 3, 5, 7,
+// ... through FromBits and checks the layout reads back exactly.
+func TestNonPowerOfTwoRunLayouts(t *testing.T) {
+	s := MustSpace(6, 2) // 16 chunks of 4 channels
+	layouts := [][]uint64{
+		{3, 5, 7, 1},
+		{1, 1, 1, 13},
+		{15, 1},
+		{5, 6, 5},
+	}
+	for _, counts := range layouts {
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		if total != s.chunks() {
+			t.Fatalf("layout %v covers %d chunks, want %d", counts, total, s.chunks())
+		}
+		// Alternate a 1010 chunk and a 0110 chunk so adjacent runs differ.
+		bits := make([]bool, s.Channels())
+		cc := s.chunkChannels()
+		chunkBits := [2][]bool{{false, true, false, true}, {false, true, true, false}}
+		ci := uint64(0)
+		for ri, c := range counts {
+			for rep := uint64(0); rep < c; rep++ {
+				for off := uint64(0); off < cc; off++ {
+					bits[ci*cc+off] = chunkBits[ri%2][off]
+				}
+				ci++
+			}
+		}
+		p, err := s.FromBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumRuns() != len(counts) {
+			t.Fatalf("layout %v: got %d runs (%s)", counts, p.NumRuns(), p)
+		}
+		for ch, want := range bits {
+			if p.Get(uint64(ch)) != want {
+				t.Fatalf("layout %v: get(%d) mismatch", counts, ch)
+			}
+		}
+		ref := densePattern(t, p)
+		for probe := uint64(0); probe < s.Channels(); probe += 7 {
+			if p.Next(probe) != ref.Next(probe) || p.PopAfter(probe) != ref.PopAfter(probe) {
+				t.Fatalf("layout %v: reduction mismatch at %d", counts, probe)
+			}
+		}
+	}
+}
+
+func TestFromAoBChunkEqualsWays(t *testing.T) {
+	s := MustSpace(7, 7) // single chunk: FromAoB is the whole pattern
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		v := aob.New(7)
+		for i := 0; i < v.NumWords(); i++ {
+			v.SetWord(i, r.Uint64())
+		}
+		p, err := s.FromAoB(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumRuns() != 1 {
+			t.Fatalf("single-chunk pattern has %d runs", p.NumRuns())
+		}
+		back, err := p.ToDense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("round trip lost bits: %s vs %s", back, v)
+		}
+	}
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	for _, geo := range [][2]int{{0, 0}, {4, 4}, {6, 2}, {8, 6}, {10, 6}, {12, 8}} {
+		s := MustSpace(geo[0], geo[1])
+		r := rand.New(rand.NewSource(int64(geo[0])*131 + int64(geo[1])))
+		for trial := 0; trial < 10; trial++ {
+			v := aob.New(geo[0])
+			for i := 0; i < v.NumWords(); i++ {
+				v.SetWord(i, r.Uint64())
+			}
+			p, err := s.FromDense(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !densePattern(t, p).Equal(v) {
+				t.Fatalf("ways=%d FromDense changed contents", geo[0])
+			}
+			back, err := p.ToDense()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(v) {
+				t.Fatalf("ways=%d round trip lost bits", geo[0])
+			}
+		}
+	}
+}
+
+func TestFromDenseWaysMismatch(t *testing.T) {
+	s := MustSpace(8, 4)
+	if _, err := s.FromDense(aob.New(6)); err == nil {
+		t.Fatal("FromDense accepted mismatched ways")
+	}
+}
+
+// TestSymbolCapBoundsIntern is the satellite requirement: a long random-op
+// sequence must not grow SymbolCount past the cap.
+func TestSymbolCapBoundsIntern(t *testing.T) {
+	s := MustSpace(10, 4)
+	const cap = 24
+	s.SetSymbolCap(cap)
+	if got := s.SymbolCap(); got != cap {
+		t.Fatalf("SymbolCap = %d, want %d", got, cap)
+	}
+	r := rand.New(rand.NewSource(4242))
+	p, err := s.FromBits(randBits(r, s.Channels(), 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2000; step++ {
+		q, err := s.FromBits(randBits(r, s.Channels(), 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch step % 4 {
+		case 0:
+			p = p.And(q)
+		case 1:
+			p = p.Or(q)
+		case 2:
+			p = p.Xor(q)
+		case 3:
+			p = p.Not()
+		}
+		if got := s.SymbolCount(); got > cap {
+			t.Fatalf("step %d: SymbolCount %d exceeds cap %d", step, got, cap)
+		}
+	}
+	if s.Resets() == 0 {
+		t.Fatal("random-op sequence never hit the cap; test is vacuous")
+	}
+	// The pattern built across resets still reads back coherently.
+	if p.Pop() > s.Channels() {
+		t.Fatal("impossible pop after resets")
+	}
+}
+
+// TestEqualAcrossResets proves structural equality survives intern resets:
+// two equal patterns minted on either side of a reset no longer share symbol
+// pointers, yet must still compare equal.
+func TestEqualAcrossResets(t *testing.T) {
+	s := MustSpace(8, 4)
+	r := rand.New(rand.NewSource(7))
+	bits := randBits(r, s.Channels(), 0.5)
+	before, err := s.FromBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSymbolCap(4)
+	// Churn the table until it resets at least twice.
+	for i := 0; s.Resets() < 2; i++ {
+		if _, err := s.FromBits(randBits(r, s.Channels(), 0.5)); err != nil {
+			t.Fatal(err)
+		}
+		if i > 10000 {
+			t.Fatal("cap never triggered")
+		}
+	}
+	after, err := s.FromBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Equal(after) || !after.Equal(before) {
+		t.Fatal("structurally equal patterns compare unequal across an intern reset")
+	}
+	// And a genuinely different pattern still compares unequal.
+	bits[0] = !bits[0]
+	other, err := s.FromBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Equal(other) {
+		t.Fatal("unequal patterns compare equal")
+	}
+}

@@ -39,17 +39,32 @@ import (
 // numbers must fit in a uint64 with room for arithmetic.
 const MaxWays = 62
 
+// DefaultSymbolCap bounds the intern table of a new Space. At the hardware
+// chunk size (16 ways, 8 KiB per symbol) the cap holds the table near 32 MiB
+// worst case; adversarial op sequences that mint unbounded distinct chunks
+// hit the cap and trigger a table reset instead of growing without limit.
+const DefaultSymbolCap = 4096
+
 // Space defines the geometry of a family of patterns — total entanglement
 // ways and per-chunk ways — and owns the symbol intern table and the
 // per-operation memo caches. Patterns from different Spaces cannot be
 // combined. A Space is not safe for concurrent use; PBP execution, like the
 // Qat coprocessor, is a single instruction stream.
+//
+// The intern table is bounded: once it reaches the symbol cap it is reset
+// (dropping every memoized op result with it) and repopulated lazily. A
+// reset invalidates pointer identity of symbols across old and new patterns
+// — old patterns stay perfectly usable, adjacent runs just stop merging
+// against newly interned equals — which is why Equal compares structurally
+// rather than by symbol pointer.
 type Space struct {
 	ways      int // total entanglement degree E
 	chunkWays int // each symbol covers 2^chunkWays channels
 
-	symbols map[string]*aob.Vector
-	memo    map[memoKey]*aob.Vector
+	symbols   map[string]*aob.Vector
+	memo      map[memoKey]*aob.Vector
+	symbolCap int // intern entries before reset; <= 0 means unbounded
+	resets    uint64
 
 	zeroSym *aob.Vector
 	oneSym  *aob.Vector
@@ -78,6 +93,7 @@ func NewSpace(ways, chunkWays int) (*Space, error) {
 		chunkWays: chunkWays,
 		symbols:   make(map[string]*aob.Vector),
 		memo:      make(map[memoKey]*aob.Vector),
+		symbolCap: DefaultSymbolCap,
 	}
 	s.zeroSym = s.intern(aob.New(chunkWays))
 	s.oneSym = s.intern(aob.OneVector(chunkWays))
@@ -112,15 +128,48 @@ func (s *Space) chunkChannels() uint64 { return uint64(1) << uint(s.chunkWays) }
 // a direct measure of how much sharing compression achieves.
 func (s *Space) SymbolCount() int { return len(s.symbols) }
 
+// SymbolCap returns the intern-table bound; <= 0 means unbounded.
+func (s *Space) SymbolCap() int { return s.symbolCap }
+
+// SetSymbolCap changes the intern-table bound. n <= 0 removes the bound. A
+// cap below the current table size takes effect at the next intern of an
+// unseen symbol.
+func (s *Space) SetSymbolCap(n int) { s.symbolCap = n }
+
+// Resets counts how many times the intern table has been dropped at the
+// cap — a compression-health signal: nonzero means the workload minted more
+// distinct chunks than the table holds.
+func (s *Space) Resets() uint64 { return s.resets }
+
 // intern returns the canonical copy of sym, adopting it if unseen. Callers
-// must not mutate a vector after interning it.
+// must not mutate a vector after interning it. When adopting would push the
+// table past the cap, the table (and the op memo, whose keys are symbol
+// pointers) is reset first and rebuilt lazily.
 func (s *Space) intern(sym *aob.Vector) *aob.Vector {
 	key := symKey(sym)
 	if got, ok := s.symbols[key]; ok {
 		return got
 	}
+	if s.symbolCap > 0 && len(s.symbols) >= s.symbolCap {
+		s.resetSymbols()
+	}
 	s.symbols[key] = sym
 	return sym
+}
+
+// resetSymbols drops the intern table and op memo, keeping the canonical
+// zero/one symbols (when already minted) so Zero()/One() patterns stay
+// pointer-shared with future ones.
+func (s *Space) resetSymbols() {
+	s.symbols = make(map[string]*aob.Vector, 2)
+	s.memo = make(map[memoKey]*aob.Vector)
+	s.resets++
+	if s.zeroSym != nil {
+		s.symbols[symKey(s.zeroSym)] = s.zeroSym
+	}
+	if s.oneSym != nil {
+		s.symbols[symKey(s.oneSym)] = s.oneSym
+	}
 }
 
 func symKey(v *aob.Vector) string {
@@ -208,6 +257,71 @@ func (s *Space) FromBits(bits []bool) (*Pattern, error) {
 		}
 	}
 	return &Pattern{sp: s, runs: runs}, nil
+}
+
+// FromDense compresses a full-width AoB vector into a pattern: the vector is
+// chopped into 2^(ways-chunkWays) chunks, each interned, with equal adjacent
+// chunks run-merged. Requires v.Ways() == the space's total ways, which in
+// turn requires ways <= aob.MaxWays — the bridge the spill-to-dense backend
+// crosses in both directions.
+func (s *Space) FromDense(v *aob.Vector) (*Pattern, error) {
+	if v.Ways() != s.ways {
+		return nil, fmt.Errorf("re: vector ways %d != space ways %d", v.Ways(), s.ways)
+	}
+	cc := s.chunkChannels()
+	cwords := int((cc + 63) / 64)
+	var runs []run
+	for ci := uint64(0); ci < s.chunks(); ci++ {
+		c := aob.New(s.chunkWays)
+		if s.chunkWays >= 6 {
+			for w := 0; w < cwords; w++ {
+				c.SetWord(w, v.Word(int(ci)*cwords+w))
+			}
+		} else {
+			for off := uint64(0); off < cc; off++ {
+				c.Set(off, v.Get(ci*cc+off))
+			}
+		}
+		sym := s.intern(c)
+		if n := len(runs); n > 0 && runs[n-1].sym == sym {
+			runs[n-1].count++
+		} else {
+			runs = append(runs, run{sym, 1})
+		}
+	}
+	return &Pattern{sp: s, runs: runs}, nil
+}
+
+// ToDense materializes the pattern as a full-width AoB vector — the spill
+// direction of the RE backend. It fails when the space's total ways exceed
+// aob.MaxWays (the whole reason the compressed form exists).
+func (p *Pattern) ToDense() (*aob.Vector, error) {
+	s := p.sp
+	if s.ways > aob.MaxWays {
+		return nil, fmt.Errorf("re: %d ways exceed dense maximum %d", s.ways, aob.MaxWays)
+	}
+	v := aob.New(s.ways)
+	cc := s.chunkChannels()
+	cwords := int((cc + 63) / 64)
+	var ci uint64
+	for _, r := range p.runs {
+		for rep := uint64(0); rep < r.count; rep++ {
+			if s.chunkWays >= 6 {
+				for w := 0; w < cwords; w++ {
+					v.SetWord(int(ci)*cwords+w, r.sym.Word(w))
+				}
+			} else {
+				for off := uint64(0); off < cc; off++ {
+					v.Set(ci*cc+off, r.sym.Get(off))
+				}
+			}
+			ci++
+		}
+	}
+	if ci != s.chunks() {
+		return nil, fmt.Errorf("re: runs cover %d of %d chunks", ci, s.chunks())
+	}
+	return v, nil
 }
 
 // Space returns the pattern's owning Space.
@@ -483,18 +597,42 @@ func (p *Pattern) All() bool {
 	return true
 }
 
-// Equal reports channel-wise equality. Because symbols are interned and
-// runs maximal, equality is a run-list comparison.
+// Equal reports channel-wise equality. It walks the two run lists in
+// lockstep, tolerating differing run boundaries and comparing symbols by
+// content (pointer identity is only a fast path): intern-table resets mean
+// two equal patterns may not share symbol pointers or even run splits.
 func (p *Pattern) Equal(q *Pattern) bool {
-	if p.sp != q.sp || len(p.runs) != len(q.runs) {
+	if p.sp != q.sp {
 		return false
 	}
-	for i := range p.runs {
-		if p.runs[i].sym != q.runs[i].sym || p.runs[i].count != q.runs[i].count {
+	pi, qi := 0, 0
+	var pLeft, qLeft uint64
+	for {
+		if pLeft == 0 {
+			if pi == len(p.runs) {
+				return qi == len(q.runs) && qLeft == 0
+			}
+			pLeft = p.runs[pi].count
+			pi++
+		}
+		if qLeft == 0 {
+			if qi == len(q.runs) {
+				return false
+			}
+			qLeft = q.runs[qi].count
+			qi++
+		}
+		ps, qs := p.runs[pi-1].sym, q.runs[qi-1].sym
+		if ps != qs && !ps.Equal(qs) {
 			return false
 		}
+		n := pLeft
+		if qLeft < n {
+			n = qLeft
+		}
+		pLeft -= n
+		qLeft -= n
 	}
-	return true
 }
 
 // String renders the run structure, e.g. "(0^2)(1^2)" for 0011 with 1-way

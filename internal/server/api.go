@@ -13,6 +13,7 @@ import (
 	"tangled/internal/lint"
 	"tangled/internal/pipeline"
 	"tangled/internal/qasm"
+	"tangled/internal/qat"
 )
 
 // ResultsSchema names the NDJSON result stream written by POST /v1/batch.
@@ -46,6 +47,16 @@ type RunRequest struct {
 	Ways int `json:"ways,omitempty"`
 	// ConstRegs selects the Section 5 constant-register Qat variant.
 	ConstRegs bool `json:"const_regs,omitempty"`
+	// Backend selects the Qat register-file representation for functional
+	// runs: "" or "dense" is the paper's bit-parallel file, "re" the
+	// run-encoded compressed file, which also unlocks Ways beyond the
+	// dense wall (up to qat.MaxREWays). Pipelined runs are dense-only.
+	Backend string `json:"backend,omitempty"`
+	// ChunkWays and SpillRuns tune the "re" backend (0 means the backend
+	// defaults; negative SpillRuns disables spilling). Rejected for dense
+	// runs so every accepted request has one canonical spelling.
+	ChunkWays int `json:"chunk_ways,omitempty"`
+	SpillRuns int `json:"spill_runs,omitempty"`
 	// Stages picks the pipeline organization for pipelined runs (4 or 5;
 	// 0 means 5).
 	Stages int `json:"stages,omitempty"`
@@ -155,6 +166,7 @@ type BuildInfo struct {
 	NumCPU        int    `json:"num_cpu"`
 	Workers       int    `json:"workers"`
 	MaxWays       int    `json:"max_ways"`
+	MaxREWays     int    `json:"max_re_ways"`
 	MaxSteps      uint64 `json:"max_steps"`
 	ResultsSchema string `json:"results_schema"`
 	ResultsVer    int    `json:"results_version"`
@@ -200,8 +212,31 @@ func (r *RunRequest) validate() error {
 	default:
 		return fmt.Errorf("program %q: mode %q is not \"functional\" or \"pipelined\"", r.ID, r.Mode)
 	}
-	if r.Ways < 0 || r.Ways > aob.MaxWays {
-		return fmt.Errorf("program %q: ways %d out of range [0,%d]", r.ID, r.Ways, aob.MaxWays)
+	switch r.Backend {
+	case "", qat.BackendDense:
+		if r.Ways < 0 || r.Ways > aob.MaxWays {
+			return fmt.Errorf("program %q: ways %d out of range [0,%d]", r.ID, r.Ways, aob.MaxWays)
+		}
+		if r.ChunkWays != 0 || r.SpillRuns != 0 {
+			return fmt.Errorf("program %q: chunk_ways/spill_runs apply only to the \"re\" backend", r.ID)
+		}
+	case qat.BackendRE:
+		if r.Mode == "pipelined" {
+			return fmt.Errorf("program %q: pipelined runs support only the dense backend", r.ID)
+		}
+		if r.Ways < 0 || r.Ways > qat.MaxREWays {
+			return fmt.Errorf("program %q: ways %d out of range [0,%d] for backend \"re\"", r.ID, r.Ways, qat.MaxREWays)
+		}
+		ways := r.Ways
+		if ways == 0 {
+			ways = aob.MaxWays
+		}
+		if r.ChunkWays < 0 || r.ChunkWays > aob.MaxWays || r.ChunkWays > ways {
+			return fmt.Errorf("program %q: chunk_ways %d out of range [0,min(%d,ways)]",
+				r.ID, r.ChunkWays, aob.MaxWays)
+		}
+	default:
+		return fmt.Errorf("program %q: backend %q is not \"dense\" or \"re\"", r.ID, r.Backend)
 	}
 	if r.Stages != 0 && r.Stages != 4 && r.Stages != 5 {
 		return fmt.Errorf("program %q: stages %d is not 4 or 5", r.ID, r.Stages)

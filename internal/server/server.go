@@ -52,6 +52,7 @@ import (
 	"tangled/internal/memo"
 	"tangled/internal/obs"
 	"tangled/internal/qasm"
+	"tangled/internal/qat"
 )
 
 // StatusClientClosedRequest is the 499 pseudo-status (from the nginx
@@ -586,6 +587,7 @@ func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
 		NumCPU:        runtime.NumCPU(),
 		Workers:       s.engine.Workers(),
 		MaxWays:       aob.MaxWays,
+		MaxREWays:     qat.MaxREWays,
 		MaxSteps:      s.cfg.MaxSteps,
 		ResultsSchema: ResultsSchema,
 		ResultsVer:    ResultsSchemaVersion,
@@ -657,6 +659,9 @@ func (s *Server) buildJob(req *RunRequest, id string, reqCtx context.Context) (f
 		job.Mode = farm.Functional
 		job.Ways = req.Ways
 		job.ConstantRegs = req.ConstRegs
+		job.Backend = req.Backend
+		job.REChunkWays = req.ChunkWays
+		job.RESpillRuns = req.SpillRuns
 	}
 	return job, 0, nil
 }
