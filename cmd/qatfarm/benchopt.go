@@ -1,0 +1,257 @@
+package main
+
+// The -bench-opt mode: quantify what the optimizing recompiler
+// (internal/opt) removes. Two populations are measured. The embedded
+// peephole-rich examples are the headline — hand-written programs dense in
+// the patterns the passes target (overwritten stores, foldable constant
+// chains, cancelling Qat inverters, energy-redundant re-inits), each
+// verified behaviorally (original and rewrite run to the same registers and
+// output) before its shrink is counted. The farmtest corpus is the sanity
+// population: generated programs where most rewrites are refused as
+// memory-unproven, reported as aggregate counts. CI gates on
+// mean_inst_reduction_pct over the examples.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/farm/farmtest"
+	"tangled/internal/opt"
+)
+
+// optBenchWays is the entanglement degree the example measurements assume.
+const optBenchWays = 8
+
+// optBenchBudget bounds each behavioral verification run.
+const optBenchBudget = 1_000_000
+
+// optExamples are the peephole-rich programs; each is lint-clean,
+// load-free (so the rewrite is provable) and halts.
+var optExamples = []struct{ name, src string }{
+	{"dead-stores", `
+	lex	$1, 11
+	lex	$2, 22
+	lex	$3, 33
+	lex	$1, 1
+	lex	$2, 2
+	lex	$3, 3
+	add	$1, $2
+	add	$1, $3
+	lex	$0, 1
+	sys
+	lex	$0, 0
+	sys
+`},
+	{"const-chain", `
+	lex	$4, 7
+	lhi	$4, 0
+	copy	$5, $4
+	add	$5, $4
+	mul	$5, $4
+	lex	$6, 0
+	add	$5, $6
+	lex	$0, 1
+	sys
+	lex	$0, 0
+	sys
+`},
+	{"qat-not-pairs", `
+	one	@1
+	not	@2
+	not	@2
+	cnot	@3, @1
+	not	@4
+	not	@4
+	xor	@5, @1, @3
+	pop	$1, @5
+	pop	$2, @3
+	lex	$0, 0
+	sys
+`},
+	{"energy-reinit", `
+	zero	@1
+	zero	@2
+	one	@3
+	one	@3
+	cnot	@4, @1
+	ccnot	@5, @3, @3
+	swap	@6, @7
+	pop	$2, @5
+	pop	$3, @3
+	lex	$0, 0
+	sys
+`},
+	{"mixed-loop", `
+	lex	$1, 3
+	lex	$5, -1
+	lex	$7, 99
+	lex	$7, 1
+	not	$8
+	not	$8
+loop:	add	$2, $1
+	add	$1, $5
+	brt	$1, loop
+	lex	$0, 0
+	sys
+`},
+}
+
+// optBenchReport is the schema of BENCH_opt.json.
+type optBenchReport struct {
+	Benchmark  string `json:"benchmark"`
+	Generated  string `json:"generated"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Note       string `json:"note"`
+
+	Ways     int              `json:"ways"`
+	Examples []optBenchSample `json:"examples"`
+	// MeanInstReductionPct is the headline figure the CI bench guard gates
+	// on: the mean static-instruction reduction over the examples.
+	MeanInstReductionPct float64 `json:"mean_inst_reduction_pct"`
+	MeanWordReductionPct float64 `json:"mean_word_reduction_pct"`
+	// SwitchedBitsSaved / ErasedBitsSaved sum the static energy-model
+	// savings over the examples (must be nonzero for the run to count).
+	SwitchedBitsSaved uint64 `json:"switched_bits_saved"`
+	ErasedBitsSaved   uint64 `json:"erased_bits_saved"`
+
+	Corpus optBenchCorpus `json:"corpus"`
+}
+
+// optBenchSample is one verified example rewrite.
+type optBenchSample struct {
+	Name             string  `json:"name"`
+	Rounds           int     `json:"rounds"`
+	WordsBefore      int     `json:"words_before"`
+	WordsAfter       int     `json:"words_after"`
+	InstsBefore      int     `json:"insts_before"`
+	InstsAfter       int     `json:"insts_after"`
+	InstReductionPct float64 `json:"inst_reduction_pct"`
+	SwitchedSaved    uint64  `json:"switched_saved"`
+	ErasedSaved      uint64  `json:"erased_saved"`
+}
+
+// optBenchCorpus aggregates the optimizer's behavior over the generated
+// farmtest corpus (most of which it must refuse as memory-unproven).
+type optBenchCorpus struct {
+	Programs   int            `json:"programs"`
+	Applied    int            `json:"applied"`
+	Refusals   map[string]int `json:"refusals"`
+	WordsSaved int            `json:"words_saved"`
+	InstsSaved int            `json:"insts_saved"`
+}
+
+// runOnce executes p on the reference machine and returns its observable
+// behavior: final registers plus everything printed through sys.
+func runOnce(p *asm.Program, ways int) ([16]uint16, string, error) {
+	m := cpu.New(ways)
+	var out strings.Builder
+	m.Out = &out
+	if err := m.Load(p); err != nil {
+		return [16]uint16{}, "", err
+	}
+	if err := m.Run(optBenchBudget); err != nil {
+		return [16]uint16{}, "", err
+	}
+	return m.Regs, out.String(), nil
+}
+
+func runBenchOpt(path string) error {
+	rep := optBenchReport{
+		Benchmark:  "OptimizingRecompiler",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "static shrink of the optimizing recompiler on peephole-rich examples, each " +
+			"behaviorally verified (identical registers and output) before counting; the " +
+			"farmtest corpus aggregate shows the refusal discipline on generated programs",
+		Ways: optBenchWays,
+	}
+
+	var sumInstPct, sumWordPct float64
+	for _, ex := range optExamples {
+		prog, err := asm.Assemble(ex.src)
+		if err != nil {
+			return fmt.Errorf("example %s: %w", ex.name, err)
+		}
+		optProg, orep := opt.Optimize(prog, opt.Options{Ways: optBenchWays})
+		if !orep.Applied {
+			return fmt.Errorf("example %s: optimizer refused (%s)", ex.name, orep.Reason)
+		}
+		wantRegs, wantOut, err := runOnce(prog, optBenchWays)
+		if err != nil {
+			return fmt.Errorf("example %s original: %w", ex.name, err)
+		}
+		gotRegs, gotOut, err := runOnce(optProg, optBenchWays)
+		if err != nil {
+			return fmt.Errorf("example %s optimized: %w", ex.name, err)
+		}
+		if wantRegs != gotRegs || wantOut != gotOut {
+			return fmt.Errorf("example %s: rewrite diverged: regs %v vs %v, output %q vs %q",
+				ex.name, wantRegs, gotRegs, wantOut, gotOut)
+		}
+		s := optBenchSample{
+			Name:        ex.name,
+			Rounds:      orep.Rounds,
+			WordsBefore: orep.WordsBefore, WordsAfter: orep.WordsAfter,
+			InstsBefore: orep.InstsBefore, InstsAfter: orep.InstsAfter,
+			InstReductionPct: 100 * float64(orep.InstsBefore-orep.InstsAfter) / float64(orep.InstsBefore),
+			SwitchedSaved:    orep.SwitchedBefore - orep.SwitchedAfter,
+			ErasedSaved:      orep.ErasedBefore - orep.ErasedAfter,
+		}
+		rep.Examples = append(rep.Examples, s)
+		rep.SwitchedBitsSaved += s.SwitchedSaved
+		rep.ErasedBitsSaved += s.ErasedSaved
+		sumInstPct += s.InstReductionPct
+		sumWordPct += 100 * float64(orep.WordsBefore-orep.WordsAfter) / float64(orep.WordsBefore)
+		fmt.Printf("%-14s insts %2d -> %2d (%5.1f%%), words %2d -> %2d, switched -%d, erased -%d\n",
+			ex.name, s.InstsBefore, s.InstsAfter, s.InstReductionPct,
+			s.WordsBefore, s.WordsAfter, s.SwitchedSaved, s.ErasedSaved)
+	}
+	rep.MeanInstReductionPct = sumInstPct / float64(len(optExamples))
+	rep.MeanWordReductionPct = sumWordPct / float64(len(optExamples))
+	if rep.SwitchedBitsSaved == 0 {
+		return fmt.Errorf("examples saved zero switched bits: the bench is vacuous")
+	}
+
+	rep.Corpus.Programs = farmtest.Programs
+	rep.Corpus.Refusals = map[string]int{}
+	for i := 0; i < farmtest.Programs; i++ {
+		prog, err := asm.Assemble(farmtest.Generate(farmtest.Seed(i)))
+		if err != nil {
+			return fmt.Errorf("corpus %d: %w", i, err)
+		}
+		_, orep := opt.Optimize(prog, opt.Options{Ways: farmtest.Ways})
+		if orep.Applied {
+			rep.Corpus.Applied++
+			rep.Corpus.WordsSaved += orep.WordsBefore - orep.WordsAfter
+			rep.Corpus.InstsSaved += orep.InstsBefore - orep.InstsAfter
+		} else {
+			rep.Corpus.Refusals[orep.Reason]++
+		}
+	}
+
+	fmt.Printf("mean inst reduction: %.1f%% over %d examples\n",
+		rep.MeanInstReductionPct, len(rep.Examples))
+	fmt.Printf("corpus: %d/%d applied, %d words saved, refusals %v\n",
+		rep.Corpus.Applied, rep.Corpus.Programs, rep.Corpus.WordsSaved, rep.Corpus.Refusals)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

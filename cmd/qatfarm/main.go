@@ -11,6 +11,7 @@
 //	        [-metrics FILE] [-http ADDR] [-trace FILE] n1 [n2 ...]
 //	qatfarm -bench [-out BENCH_farm.json]
 //	qatfarm -bench-memo [-workers N] [-out BENCH_memo.json]
+//	qatfarm -bench-opt [-out BENCH_opt.json]
 //
 // Examples:
 //
@@ -76,7 +77,8 @@ func main() {
 	bench := flag.Bool("bench", false, "run the throughput sweep and write the regression file")
 	benchMemo := flag.Bool("bench-memo", false, "benchmark the execution cache on a 90%-repeat mix")
 	benchAoB := flag.Bool("bench-aob", false, "benchmark the SWAR AoB kernels against the definitional bit loops")
-	out := flag.String("out", "", "output file for -bench/-bench-memo/-bench-aob (defaults BENCH_farm.json / BENCH_memo.json / BENCH_aob.json)")
+	benchOpt := flag.Bool("bench-opt", false, "measure the optimizing recompiler's static shrink on peephole-rich examples")
+	out := flag.String("out", "", "output file for the -bench-* modes (defaults BENCH_<mode>.json)")
 	metricsOut := flag.String("metrics", "", "write Prometheus text metrics to FILE after the run (- for stdout)")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on ADDR during the run")
 	traceOut := flag.String("trace", "", "write the pipeline cycle trace as JSONL to FILE")
@@ -105,6 +107,15 @@ func main() {
 			*out = "BENCH_aob.json"
 		}
 		if err := runBenchAoB(*out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchOpt {
+		if *out == "" {
+			*out = "BENCH_opt.json"
+		}
+		if err := runBenchOpt(*out); err != nil {
 			fatal(err)
 		}
 		return

@@ -5,14 +5,23 @@
 // halt, inescapable loops, illegal instructions on reachable paths, and
 // per-basic-block static energy estimates.
 //
+// With -optimize it is also the front end of the optimizing recompiler
+// (internal/opt): lint-clean programs are rewritten — dead stores deleted,
+// constants folded, Qat sequences peepholed, energy-redundant operations
+// removed — and the rewritten assembly plus a per-pass delta report are
+// emitted. Programs the optimizer cannot prove safe to rewrite come back
+// unchanged with the refusal reason; programs with error-level findings are
+// never rewritten and fail the run with exit status 2.
+//
 // Usage:
 //
-//	qatlint [-json] [-severity error|warning|info] [-ways N] [-hot N] prog.s ...
+//	qatlint [-json] [-severity error|warning|info] [-ways N] [-hot N] [-optimize] prog.s ...
 //	qatlint -farmtest N          also lint the generated test corpus
 //
 // Input "-" (or no arguments) reads from stdin. The exit status is the CI
 // contract: 0 when every input is below the -severity gate, 1 when any
-// finding (or assembly failure) meets it, 2 on usage or I/O errors.
+// finding (or assembly failure) meets it, 2 on usage or I/O errors — and,
+// under -optimize, on error-level findings, which make rewriting unsafe.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/farm/farmtest"
 	"tangled/internal/lint"
+	"tangled/internal/opt"
 )
 
 // fileReport is one input's result in the JSON output.
@@ -35,20 +45,32 @@ type fileReport struct {
 	// assemble; Report is null in that case.
 	AsmErrors []string     `json:"asm_errors,omitempty"`
 	Report    *lint.Report `json:"report,omitempty"`
+	// Opt is the optimizer's delta report (-optimize only); when it
+	// applied, OptimizedWords and OptimizedAsm carry the rewritten program.
+	Opt            *opt.Report `json:"opt,omitempty"`
+	OptimizedWords []uint16    `json:"optimized_words,omitempty"`
+	OptimizedAsm   []string    `json:"optimized_asm,omitempty"`
 }
 
-func main() {
-	jsonOut := flag.Bool("json", false, "emit the full JSON report to stdout")
-	sevFlag := flag.String("severity", "error", "minimum severity that fails the run (info|warning|error)")
-	ways := flag.Int("ways", 0, "assumed entanglement degree for energy estimates (0 = full hardware)")
-	hot := flag.Uint64("hot", 0, "erased-bits-per-iteration budget for hot-block findings (0 = default)")
-	nCorpus := flag.Int("farmtest", 0, "also lint the first N generated farmtest corpus programs")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qatlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the full JSON report to stdout")
+	sevFlag := fs.String("severity", "error", "minimum severity that fails the run (info|warning|error)")
+	ways := fs.Int("ways", 0, "assumed entanglement degree for energy estimates (0 = full hardware)")
+	hot := fs.Uint64("hot", 0, "erased-bits-per-iteration budget for hot-block findings (0 = default)")
+	nCorpus := fs.Int("farmtest", 0, "also lint the first N generated farmtest corpus programs")
+	optimize := fs.Bool("optimize", false, "rewrite lint-clean programs through the optimizing recompiler")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	gate, err := lint.ParseSeverity(*sevFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qatlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "qatlint:", err)
+		return 2
 	}
 	opts := lint.Options{Ways: *ways, HotErasedBits: *hot}
 
@@ -68,35 +90,35 @@ func main() {
 			opts.Ways = farmtest.Ways
 		}
 	}
-	if *nCorpus == 0 && flag.NArg() == 0 {
-		src, err := io.ReadAll(os.Stdin)
+	if *nCorpus == 0 && fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qatlint: stdin:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "qatlint: stdin:", err)
+			return 2
 		}
 		inputs = append(inputs, input{name: "<stdin>", src: string(src)})
 	}
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		var src []byte
 		var err error
 		if path == "-" {
-			src, err = io.ReadAll(os.Stdin)
+			src, err = io.ReadAll(stdin)
 			path = "<stdin>"
 		} else {
 			src, err = os.ReadFile(path)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qatlint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "qatlint:", err)
+			return 2
 		}
 		inputs = append(inputs, input{name: path, src: string(src)})
 	}
 
-	failed := false
+	failed, unsafe := false, false
 	var results []fileReport
 	for _, in := range inputs {
 		fr := fileReport{File: in.name}
-		r, err := lint.AnalyzeSource(in.src, opts)
+		prog, err := asm.Assemble(in.src)
 		if err != nil {
 			// Assembly failures always meet the gate: an unassemblable
 			// program is at least as broken as an error finding.
@@ -106,42 +128,89 @@ func main() {
 				for _, e := range list {
 					fr.AsmErrors = append(fr.AsmErrors, e.Error())
 					if !*jsonOut {
-						fmt.Printf("%s: %s\n", in.name, e.Error())
+						fmt.Fprintf(stdout, "%s: %s\n", in.name, e.Error())
 					}
 				}
 			} else {
 				fr.AsmErrors = append(fr.AsmErrors, err.Error())
 				if !*jsonOut {
-					fmt.Printf("%s: %v\n", in.name, err)
+					fmt.Fprintf(stdout, "%s: %v\n", in.name, err)
 				}
 			}
 			results = append(results, fr)
 			continue
 		}
+		r := lint.Analyze(prog, opts)
 		fr.Report = r
-		results = append(results, fr)
 		if r.CountAtLeast(gate) > 0 {
 			failed = true
 		}
 		if !*jsonOut {
 			for _, d := range r.Diags {
-				fmt.Printf("%s: %s\n", in.name, d)
+				fmt.Fprintf(stdout, "%s: %s\n", in.name, d)
 			}
 		}
+		if *optimize {
+			if r.Errors > 0 {
+				// Error-level findings mean the program is broken; rewriting
+				// a broken program is never safe, and silently skipping the
+				// rewrite would hand the caller the wrong artifact. Usage
+				// contract violation: exit 2.
+				unsafe = true
+				if !*jsonOut {
+					fmt.Fprintf(stdout, "%s: optimize: refused (%s): error-level findings suppress rewriting\n",
+						in.name, opt.ReasonLintErrors)
+				}
+			} else {
+				optProg, orep := opt.Optimize(prog, opt.Options{Ways: opts.Ways})
+				fr.Opt = orep
+				if orep.Applied {
+					fr.OptimizedWords = optProg.Words
+					fr.OptimizedAsm = opt.Disassemble(optProg, opt.Options{})
+				}
+				if !*jsonOut {
+					printOptSummary(stdout, in.name, orep, fr.OptimizedAsm)
+				}
+			}
+		}
+		results = append(results, fr)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
 			Severity string       `json:"severity_gate"`
 			Files    []fileReport `json:"files"`
 		}{gate.String(), results}); err != nil {
-			fmt.Fprintln(os.Stderr, "qatlint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "qatlint:", err)
+			return 2
 		}
 	}
+	if unsafe {
+		return 2
+	}
 	if failed {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// printOptSummary renders the text-mode delta report and rewritten listing.
+func printOptSummary(w io.Writer, name string, rep *opt.Report, asmLines []string) {
+	if !rep.Applied {
+		fmt.Fprintf(w, "%s: optimize: refused (%s): program returned unchanged\n", name, rep.Reason)
+		return
+	}
+	fmt.Fprintf(w, "%s: optimize: applied in %d round(s): words %d -> %d, insts %d -> %d, switched bits %d -> %d, erased bits %d -> %d\n",
+		name, rep.Rounds, rep.WordsBefore, rep.WordsAfter, rep.InstsBefore, rep.InstsAfter,
+		rep.SwitchedBefore, rep.SwitchedAfter, rep.ErasedBefore, rep.ErasedAfter)
+	for _, ps := range rep.Passes {
+		if ps.Removed+ps.Rewritten > 0 {
+			fmt.Fprintf(w, "%s: optimize:   %s: removed %d, rewrote %d\n", name, ps.Pass, ps.Removed, ps.Rewritten)
+		}
+	}
+	for _, line := range asmLines {
+		fmt.Fprintf(w, "%s: | %s\n", name, line)
 	}
 }

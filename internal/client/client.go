@@ -316,8 +316,15 @@ func (c *Client) Batch(ctx context.Context, req server.BatchRequest) ([]server.R
 // Assemble assembles source remotely; assembler diagnostics come back as an
 // *APIError with Lines populated.
 func (c *Client) Assemble(ctx context.Context, src string) (server.AssembleResponse, error) {
+	return c.AssembleWith(ctx, server.AssembleRequest{Src: src})
+}
+
+// AssembleWith is Assemble with the full request surface: opt-in lint
+// reports and the optimizing recompiler (req.Optimize — the delta report
+// and, when applied, the rewritten word image come back on the response).
+func (c *Client) AssembleWith(ctx context.Context, req server.AssembleRequest) (server.AssembleResponse, error) {
 	var out server.AssembleResponse
-	err := c.post(ctx, "/v1/assemble", &server.AssembleRequest{Src: src}, &out)
+	err := c.post(ctx, "/v1/assemble", &req, &out)
 	return out, err
 }
 

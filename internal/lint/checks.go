@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"tangled/internal/energy"
+	"tangled/internal/isa"
 )
 
 // checkDecode reports reachable control transfers into words that are not
@@ -190,6 +191,27 @@ func (g *cfg) checkSelfLoops(r *Report) {
 		}
 		r.add(Diagnostic{Check: CheckSelfLoop, Severity: Error,
 			Addr: first.start(), Line: first.insts[0].line, Msg: msg})
+	}
+}
+
+// checkHadRange reports reachable had instructions whose pattern index is
+// out of range for the assumed entanglement degree: at run time qat.Exec
+// fails such an instruction, stopping the machine mid-program. At the
+// default full-hardware assumption (16 ways) the 4-bit pattern field cannot
+// exceed the range, so the check only fires when the caller pins a smaller
+// degree.
+func (g *cfg) checkHadRange(r *Report) {
+	for _, addr := range g.order {
+		if !g.reach[addr] {
+			continue
+		}
+		in := g.insts[addr]
+		if in.inst.Op == isa.OpQHad && int(in.inst.K) >= g.opts.Ways {
+			r.add(Diagnostic{Check: CheckHadRange, Severity: Warning,
+				Addr: addr, Line: in.line,
+				Msg: fmt.Sprintf("had pattern %d requires at least %d ways but the analysis assumes %d: the instruction faults at run time",
+					in.inst.K, int(in.inst.K)+1, g.opts.Ways)})
+		}
 	}
 }
 

@@ -107,6 +107,7 @@ const (
 	CheckUseBeforeDef = "use-before-def" // read of a never-written register
 	CheckDeadStore    = "dead-store"     // write overwritten before any read
 	CheckHotBlock     = "hot-block"      // loop block with high erasure cost
+	CheckHadRange     = "had-range"      // had pattern >= assumed entanglement degree
 )
 
 // Diagnostic is one finding, tied to a word address (and source line when
@@ -225,13 +226,7 @@ func Analyze(p *asm.Program, opts Options) *Report {
 		return r
 	}
 	g := buildCFG(p, opts)
-	g.checkDecode(r)
-	g.checkReachability(r)
-	g.checkSelfLoops(r)
-	g.checkHalt(r)
-	g.checkUseBeforeDef(r)
-	g.checkDeadStores(r)
-	g.checkCosts(r, opts)
+	runChecks(g, r, opts)
 	r.finish()
 	return r
 }

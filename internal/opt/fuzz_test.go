@@ -1,0 +1,100 @@
+package opt
+
+// FuzzOptimize extends the differential proof to arbitrary assembly: any
+// source the assembler accepts is optimized and the invariants are asserted
+// unconditionally — refusals return the input verbatim, accepted rewrites
+// never grow, are idempotent, and (when the original halts or faults within
+// budget) preserve the observable outcome on the reference machine.
+
+import (
+	"strings"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/farm/farmtest"
+)
+
+const fuzzBudget = 100_000
+
+// fuzzRun executes p and returns the observable outcome; ok is false when
+// the budget ran out (no comparison is meaningful then: the optimized
+// program retires fewer instructions and may legitimately get further).
+func fuzzRun(p *asm.Program) (regs [16]uint16, output string, failed, ok bool) {
+	m := cpu.New(16)
+	var out strings.Builder
+	m.Out = &out
+	if err := m.Load(p); err != nil {
+		return regs, "", false, false
+	}
+	err := m.Run(fuzzBudget)
+	if err == cpu.ErrNoHalt {
+		return regs, "", false, false
+	}
+	return m.Regs, out.String(), err != nil, true
+}
+
+func FuzzOptimize(f *testing.F) {
+	f.Add("\tlex\t$0, 0\n\tsys\n")
+	f.Add("\tlex\t$1, 2\n\tlex\t$2, 3\n\tadd\t$1, $2\n\tlex\t$0, 0\n\tsys\n")
+	f.Add("\tone\t@1\n\tnot\t@1\n\tnot\t@1\n\tlex\t$1, 0\n\tmeas\t$1, @1\n\tlex\t$0, 0\n\tsys\n")
+	f.Add("\tzero\t@2\n\tzero\t@2\n\tcnot\t@1, @2\n\tlex\t$0, 0\n\tsys\n")
+	f.Add("loop:\tlex\t$1, 1\n\tbrt\t$1, loop\n\tlex\t$0, 0\n\tsys\n")
+	for i := 0; i < 8; i++ {
+		f.Add(farmtest.Generate(farmtest.Seed(i)))
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Skip()
+		}
+		q, rep := Optimize(p, Options{})
+		if !rep.Applied {
+			if q != p {
+				t.Fatalf("refused (%s) but input not returned verbatim", rep.Reason)
+			}
+			return
+		}
+
+		// No growth, ever.
+		if len(q.Words) > len(p.Words) {
+			t.Fatalf("optimizer grew the program: %d -> %d words", len(p.Words), len(q.Words))
+		}
+
+		// Idempotence: opt(opt(p)) == opt(p), in zero further rounds.
+		q2, rep2 := Optimize(q, Options{})
+		if !rep2.Applied {
+			t.Fatalf("re-optimization refused: %s", rep2.Reason)
+		}
+		if rep2.Rounds != 0 || len(q2.Words) != len(q.Words) {
+			t.Fatalf("not idempotent: %d rounds, %d -> %d words", rep2.Rounds, len(q.Words), len(q2.Words))
+		}
+		for i := range q.Words {
+			if q2.Words[i] != q.Words[i] {
+				t.Fatalf("word %d differs on re-optimization", i)
+			}
+		}
+
+		// Semantic equivalence whenever the original halts (or faults) in
+		// budget: final register file, output stream, and clean-vs-faulted
+		// outcome must all match.
+		pr, po, pf, ok := fuzzRun(p)
+		if !ok {
+			return
+		}
+		qr, qo, qf, qok := fuzzRun(q)
+		if !qok {
+			t.Fatalf("original finishes in budget but optimized does not")
+		}
+		if pf != qf {
+			t.Fatalf("fault status diverges: original=%v optimized=%v", pf, qf)
+		}
+		if pr != qr {
+			t.Fatalf("registers diverge:\n  original:  %v\n  optimized: %v\nsource:\n%s", pr, qr, src)
+		}
+		if po != qo {
+			t.Fatalf("output diverges:\n  original:  %q\n  optimized: %q", po, qo)
+		}
+	})
+}

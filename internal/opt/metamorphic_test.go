@@ -1,0 +1,117 @@
+package opt
+
+// The metamorphic suite: seeding corpus programs with provably-removable
+// junk — adjacent Qat not-not pairs, self-copies, and dead-then-restored
+// register stores — must never change what the optimizer's output computes,
+// and the output must never be larger than the mutated input. For programs
+// the optimizer accepts, the junk classes below are all within the passes'
+// power, so the mutant must come back strictly smaller than it was mutated
+// to. This attacks the optimizer from the opposite side of diff_test.go:
+// instead of checking that real programs survive optimization, it checks
+// that planted redundancy is actually found without collateral damage.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/farm/farmtest"
+)
+
+// mutate inserts semantically inert lines into src at positions derived from
+// i: a cancelling Qat not-not pair, a self-copy, and a write to the unused
+// $15 immediately restored to its loader value. Every insertion is a no-op
+// on its own (even when a label makes it part of a loop body), so the
+// mutant's observable behavior equals the original's by construction.
+func mutate(src string, i int) string {
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	q := i % 12
+	r := 1 + i%9
+	junk := [][]string{
+		{fmt.Sprintf("\tnot\t@%d", q), fmt.Sprintf("\tnot\t@%d", q)},
+		{fmt.Sprintf("\tcopy\t$%d,$%d", r, r)},
+		{"\tlex\t$15,42", "\tlex\t$15,0"},
+	}
+	// Spread the insertion points across the program, keeping each group
+	// adjacent (the pairs must cancel against each other, not across code).
+	var out []string
+	for li, line := range lines {
+		for gi, g := range junk {
+			if li == (i+gi*7)%len(lines) {
+				out = append(out, g...)
+			}
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+func TestMetamorphicCorpus(t *testing.T) {
+	strictShrinks := 0
+	for i := 0; i < farmtest.Programs; i++ {
+		src := farmtest.Generate(farmtest.Seed(i))
+		orig, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		_, origRep := Optimize(orig, Options{Ways: farmtest.Ways})
+
+		msrc := mutate(src, i)
+		mut, err := asm.Assemble(msrc)
+		if err != nil {
+			t.Fatalf("program %d: mutant does not assemble: %v\n%s", i, err, msrc)
+		}
+		optMut, rep := Optimize(mut, Options{Ways: farmtest.Ways})
+		if len(optMut.Words) > len(mut.Words) {
+			t.Fatalf("program %d: optimized mutant grew: %d -> %d words",
+				i, len(mut.Words), len(optMut.Words))
+		}
+
+		if !origRep.Applied {
+			// A refused original stays refused when mutated (the offending
+			// load/jumpr is still there), and — the refusal's whole point —
+			// insertions are NOT no-ops for such programs: their unproven
+			// loads read the program image, which the insertions reshaped.
+			// No semantic comparison against the original is meaningful;
+			// the contract is the verbatim identity.
+			if rep.Applied {
+				t.Fatalf("program %d: refused original (%s) but mutant accepted\n%s",
+					i, origRep.Reason, msrc)
+			}
+			if optMut != mut {
+				t.Fatalf("program %d: refused mutant not returned verbatim", i)
+			}
+			continue
+		}
+
+		// Accepted originals are load-free up to proven-high stores, so the
+		// planted junk really is inert — and entirely within the passes'
+		// power, so the mutant must come back strictly smaller...
+		if !rep.Applied {
+			t.Fatalf("program %d: accepted original but mutant refused (%s)\n%s",
+				i, rep.Reason, msrc)
+		}
+		if len(optMut.Words) >= len(mut.Words) {
+			t.Fatalf("program %d: accepted mutant kept its junk: %d -> %d words\n%s",
+				i, len(mut.Words), len(optMut.Words), msrc)
+		}
+		strictShrinks++
+
+		// ...and optimize(mutant) must compute exactly what the unmutated
+		// original computes.
+		or, oo := runRef(t, orig, farmtest.Ways)
+		mr, mo := runRef(t, optMut, farmtest.Ways)
+		if or != mr {
+			t.Fatalf("program %d: optimized mutant diverges from original\n  original: %v\n  mutant:   %v\nreport: %+v\nmutant source:\n%s",
+				i, or, mr, rep, msrc)
+		}
+		if oo != mo {
+			t.Fatalf("program %d: optimized mutant output diverges\n  original: %q\n  mutant:   %q", i, oo, mo)
+		}
+	}
+	if strictShrinks == 0 {
+		t.Fatal("no accepted mutant shrank: the metamorphic check is vacuous")
+	}
+	t.Logf("metamorphic: %d accepted mutants strictly shrank", strictShrinks)
+}

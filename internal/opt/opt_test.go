@@ -1,0 +1,445 @@
+package opt
+
+// Unit and golden tests for the optimizing recompiler: each pass proved on a
+// handcrafted program (semantics checked on the reference machine before and
+// after), every refusal reason pinned to a program that triggers it, and the
+// global invariants — identity on refusal, idempotence, no growth — asserted
+// directly. The statistical proof over the shared corpus lives in
+// diff_test.go; the adversarial one in metamorphic_test.go and fuzz_test.go.
+
+import (
+	"strings"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/cpu"
+	"tangled/internal/isa"
+	"tangled/internal/lint"
+)
+
+const testBudget = 2_000_000
+
+// runRef executes p on the reference machine and returns the observable
+// outcome: the final Tangled register file and the sys output stream.
+func runRef(t *testing.T, p *asm.Program, ways int) ([16]uint16, string) {
+	t.Helper()
+	m := cpu.New(ways)
+	var out strings.Builder
+	m.Out = &out
+	if err := m.Load(p); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := m.Run(testBudget); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Regs, out.String()
+}
+
+// mustAssemble assembles src or fails the test.
+func mustAssemble(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// optApplied optimizes src and requires the program to be accepted.
+func optApplied(t *testing.T, src string, opts Options) (*asm.Program, *asm.Program, *Report) {
+	t.Helper()
+	p := mustAssemble(t, src)
+	q, rep := Optimize(p, opts)
+	if !rep.Applied {
+		t.Fatalf("refused (%s); want applied\nsource:\n%s", rep.Reason, src)
+	}
+	return p, q, rep
+}
+
+// sameBehavior runs both programs and compares the observable outcome.
+func sameBehavior(t *testing.T, p, q *asm.Program, ways int) {
+	t.Helper()
+	pr, po := runRef(t, p, ways)
+	qr, qo := runRef(t, q, ways)
+	if pr != qr {
+		t.Fatalf("register files diverge:\n  original:  %v\n  optimized: %v", pr, qr)
+	}
+	if po != qo {
+		t.Fatalf("output diverges:\n  original:  %q\n  optimized: %q", po, qo)
+	}
+}
+
+// passStat returns the named pass's stat from a report.
+func passStat(t *testing.T, rep *Report, name string) PassStat {
+	t.Helper()
+	for _, ps := range rep.Passes {
+		if ps.Pass == name {
+			return ps
+		}
+	}
+	t.Fatalf("pass %q missing from report", name)
+	return PassStat{}
+}
+
+const haltEpilogue = "\tlex\t$0, 0\n\tsys\n"
+
+func TestDeadStoreElimination(t *testing.T) {
+	// Every register is observable at halt (and sys exposes the whole file),
+	// so a dead store must be overwritten before any sys to be removable.
+	src := `
+	lex	$1, 7
+	lex	$2, 9	; dead: overwritten before anything reads it
+	lex	$2, 4
+	lex	$0, 1
+	sys		; print $1
+` + haltEpilogue
+	p, q, rep := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	if len(q.Words) >= len(p.Words) {
+		t.Fatalf("no shrink: %d -> %d words", len(p.Words), len(q.Words))
+	}
+	if ps := passStat(t, rep, PassDeadStore); ps.Removed == 0 {
+		t.Fatalf("deadstore removed nothing: %+v", rep.Passes)
+	}
+}
+
+func TestConstFoldLexChain(t *testing.T) {
+	src := `
+	lex	$1, 2
+	lex	$2, 3
+	add	$1, $2	; $1 = 5, foldable
+	xor	$3, $3	; $3 = 0 without a constant source
+	lex	$0, 1
+	sys		; print $1
+` + haltEpilogue
+	p, q, rep := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	if ps := passStat(t, rep, PassConstFold); ps.Removed+ps.Rewritten == 0 {
+		t.Fatalf("constfold did nothing: %+v", rep.Passes)
+	}
+	if len(q.Words) >= len(p.Words) {
+		t.Fatalf("no shrink: %d -> %d words", len(p.Words), len(q.Words))
+	}
+}
+
+func TestConstFoldLhiCollapse(t *testing.T) {
+	// lhi over a known low byte with a value that fits lex collapses.
+	src := `
+	lex	$1, 3
+	lhi	$1, 0	; (3 & 0xFF) | 0<<8 == 3: a provable no-op
+	lex	$0, 1
+	sys
+` + haltEpilogue
+	p, q, rep := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	if ps := passStat(t, rep, PassConstFold); ps.Removed == 0 {
+		t.Fatalf("lhi no-op not removed: %+v", rep.Passes)
+	}
+}
+
+func TestPeepholeDoubleNot(t *testing.T) {
+	src := `
+	one	@1
+	not	@1
+	not	@1	; cancels with the previous
+	lex	$1, 0
+	meas	$1, @1
+	lex	$0, 1
+	sys		; print the (deterministic) measurement
+` + haltEpilogue
+	p, q, rep := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	if ps := passStat(t, rep, PassPeephole); ps.Removed < 2 {
+		t.Fatalf("not-not pair survived: %+v", rep.Passes)
+	}
+}
+
+func TestPeepholeCPUNotBarrier(t *testing.T) {
+	// A sys between the pair may halt (or fault) with the intermediate
+	// value visible: the pair must NOT cancel across it. $3 comes from a
+	// measurement so the constant folder cannot rewrite the nots either.
+	src := `
+	had	@0, 2
+	meas	$3, @0
+	not	$3
+	lex	$0, 1
+	sys		; print $1 -- but also a potential halt/fault point
+	not	$3
+	lex	$0, 1
+	sys
+` + haltEpilogue
+	p, q, _ := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	// Both nots must survive every round.
+	insts := decodeOps(t, q)
+	nots := 0
+	for _, op := range insts {
+		if op == isa.OpNot {
+			nots++
+		}
+	}
+	if nots != 2 {
+		t.Fatalf("not count = %d, want 2 (sys is a barrier)", nots)
+	}
+}
+
+func TestEnergyRedundantInit(t *testing.T) {
+	src := `
+	zero	@2	; loader already zeroed the file: removable
+	one	@3
+	one	@3	; re-init of the current state: removable
+	zero	@3	; inverse of the current state: reversibilizes to not
+	lex	$1, 0
+	meas	$1, @3
+	lex	$0, 1
+	sys
+` + haltEpilogue
+	p, q, rep := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	ps := passStat(t, rep, PassEnergy)
+	if ps.Removed == 0 && ps.Rewritten == 0 {
+		t.Fatalf("energy pass did nothing: %+v", rep.Passes)
+	}
+	if rep.ErasedAfter >= rep.ErasedBefore {
+		t.Fatalf("erased bits did not drop: %d -> %d", rep.ErasedBefore, rep.ErasedAfter)
+	}
+}
+
+func TestEnergyCnotZeroSource(t *testing.T) {
+	src := `
+	one	@1
+	cnot	@1, @2	; @2 still zero: a ^= 0 is a no-op
+	lex	$1, 0
+	meas	$1, @1
+	lex	$0, 1
+	sys
+` + haltEpilogue
+	p, q, rep := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	if ps := passStat(t, rep, PassEnergy); ps.Removed == 0 {
+		t.Fatalf("cnot with zero source survived: %+v", rep.Passes)
+	}
+}
+
+func TestUnreachableRemoval(t *testing.T) {
+	src := haltEpilogue + `
+	lex	$5, 9	; past a certain halt: unreachable
+	add	$5, $5
+`
+	p, q, rep := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	if ps := passStat(t, rep, PassUnreachable); ps.Removed < 2 {
+		t.Fatalf("unreachable tail survived: %+v", rep.Passes)
+	}
+	// The constant folder additionally drops `lex $0, 0` (the loader zeroes
+	// the register file), leaving just the sys.
+	if rep.InstsAfter > 2 {
+		t.Fatalf("insts after = %d, want at most the halt epilogue", rep.InstsAfter)
+	}
+}
+
+func TestBranchRelayout(t *testing.T) {
+	// Removals before and between branch and target: offsets must re-resolve.
+	src := `
+	lex	$9, 1	; dead: overwritten before any sys
+	lex	$9, 2
+	lex	$1, 3
+	lex	$2, -1
+loop:	lex	$8, 7	; dead: overwritten before the loop's sys
+	lex	$8, 1
+	lex	$0, 1
+	sys
+	add	$1, $2
+	brt	$1, loop
+` + haltEpilogue
+	p, q, _ := optApplied(t, src, Options{})
+	sameBehavior(t, p, q, 16)
+	if len(q.Words) >= len(p.Words) {
+		t.Fatalf("no shrink: %d -> %d words", len(p.Words), len(q.Words))
+	}
+}
+
+// decodeOps decodes a program's reachable words into opcodes.
+func decodeOps(t *testing.T, p *asm.Program) []isa.Op {
+	t.Helper()
+	var ops []isa.Op
+	for i := 0; i < len(p.Words); {
+		var w1 uint16
+		if i+1 < len(p.Words) {
+			w1 = p.Words[i+1]
+		}
+		in, n, err := isa.Primary.Decode(p.Words[i], w1)
+		if err != nil {
+			t.Fatalf("decode at %d: %v", i, err)
+		}
+		ops = append(ops, in.Op)
+		i += n
+	}
+	return ops
+}
+
+func TestRefusalReasons(t *testing.T) {
+	cases := []struct {
+		name, src string
+		opts      Options
+		want      string
+	}{
+		{"lint-errors", "\tlex\t$1, 5\n", Options{}, ReasonLintErrors}, // falls off the end
+		{"memory-unproven", `
+	had	@0, 2
+	meas	$1, @0
+	load	$2, $1	; measurement-derived address: no lower bound
+` + haltEpilogue, Options{}, ReasonMemory},
+		{"had-range", "\thad\t@0, 5\n" + haltEpilogue, Options{Ways: 4}, ReasonHadRange},
+		{"data-words", haltEpilogue + "\t.word\t42\n", Options{}, ReasonData},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustAssemble(t, tc.src)
+			q, rep := Optimize(p, tc.opts)
+			if rep.Applied {
+				t.Fatalf("applied; want refusal %s", tc.want)
+			}
+			if rep.Reason != tc.want {
+				t.Fatalf("reason = %q, want %q", rep.Reason, tc.want)
+			}
+			if q != p {
+				t.Fatalf("refusal did not return the input program")
+			}
+			if rep.WordsBefore != rep.WordsAfter || rep.SwitchedBefore != rep.SwitchedAfter {
+				t.Fatalf("refusal report not an identity: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestRefusalJumpr(t *testing.T) {
+	// The jump pseudo assembles to a jumpr the linter resolves precisely;
+	// the optimizer still refuses it (relayout would have to relocate the
+	// register constant), reporting the dedicated reason.
+	src := `
+	jump	skip
+	lex	$4, 1	; skipped
+skip:
+` + haltEpilogue
+	p := mustAssemble(t, src)
+	q, rep := Optimize(p, Options{})
+	if rep.Applied {
+		t.Fatalf("applied; want a jumpr refusal")
+	}
+	if rep.Reason != ReasonJumpr && rep.Reason != ReasonImprecise {
+		t.Fatalf("reason = %q, want %q or %q", rep.Reason, ReasonJumpr, ReasonImprecise)
+	}
+	if q != p {
+		t.Fatalf("refusal did not return the input program")
+	}
+	// The golden property for satellite coverage: a refused program's words
+	// are byte-identical to the input.
+	for i := range p.Words {
+		if q.Words[i] != p.Words[i] {
+			t.Fatalf("word %d changed on a refused program", i)
+		}
+	}
+}
+
+func TestIdempotence(t *testing.T) {
+	srcs := []string{
+		`
+	lex	$1, 2
+	lex	$2, 3
+	add	$1, $2
+	lex	$9, 1
+	one	@1
+	not	@1
+	not	@1
+	lex	$3, 0
+	meas	$3, @1
+	lex	$0, 1
+	sys
+` + haltEpilogue,
+		haltEpilogue,
+	}
+	for i, src := range srcs {
+		p := mustAssemble(t, src)
+		q1, rep1 := Optimize(p, Options{})
+		if !rep1.Applied {
+			t.Fatalf("case %d refused: %s", i, rep1.Reason)
+		}
+		q2, rep2 := Optimize(q1, Options{})
+		if !rep2.Applied {
+			t.Fatalf("case %d: second pass refused: %s", i, rep2.Reason)
+		}
+		if len(q1.Words) != len(q2.Words) {
+			t.Fatalf("case %d: not idempotent: %d -> %d words", i, len(q1.Words), len(q2.Words))
+		}
+		for j := range q1.Words {
+			if q1.Words[j] != q2.Words[j] {
+				t.Fatalf("case %d: word %d differs on re-optimization", i, j)
+			}
+		}
+		if rep2.Rounds != 0 {
+			t.Fatalf("case %d: re-optimization took %d rounds, want 0", i, rep2.Rounds)
+		}
+	}
+}
+
+func TestOptimizedStaysLintClean(t *testing.T) {
+	src := `
+	lex	$1, 2
+	lex	$2, 3
+	add	$1, $2
+	lex	$0, 1
+	sys
+` + haltEpilogue
+	_, q, _ := optApplied(t, src, Options{})
+	rep := lint.Analyze(q, lint.Options{})
+	if rep.Errors > 0 {
+		t.Fatalf("optimized program has lint errors: %+v", rep.Diags)
+	}
+}
+
+func TestReportEnergyAccounting(t *testing.T) {
+	src := `
+	zero	@1
+	zero	@1
+	one	@2
+	one	@2
+	lex	$1, 0
+	meas	$1, @2
+	lex	$0, 1
+	sys
+` + haltEpilogue
+	_, _, rep := optApplied(t, src, Options{Ways: 6})
+	if rep.Ways != 6 {
+		t.Fatalf("ways = %d, want 6", rep.Ways)
+	}
+	if rep.ErasedAfter >= rep.ErasedBefore {
+		t.Fatalf("erased bound did not shrink: %d -> %d", rep.ErasedBefore, rep.ErasedAfter)
+	}
+	if rep.InstsAfter >= rep.InstsBefore {
+		t.Fatalf("instruction count did not shrink: %d -> %d", rep.InstsBefore, rep.InstsAfter)
+	}
+}
+
+func TestOptimizeSourceAssemblyError(t *testing.T) {
+	if _, _, err := OptimizeSource("\tbogus\t$1\n", Options{}); err == nil {
+		t.Fatal("assembly error not surfaced")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	_, q, _ := optApplied(t, "\tlex\t$1, 2\n\tlex\t$0, 1\n\tsys\n"+haltEpilogue, Options{})
+	lines := Disassemble(q, Options{})
+	if len(lines) == 0 {
+		t.Fatal("empty disassembly")
+	}
+	rt := mustAssemble(t, strings.Join(lines, "\n")+"\n")
+	if len(rt.Words) != len(q.Words) {
+		t.Fatalf("round-trip: %d words, want %d", len(rt.Words), len(q.Words))
+	}
+	for i := range rt.Words {
+		if rt.Words[i] != q.Words[i] {
+			t.Fatalf("round-trip word %d: %#04x != %#04x", i, rt.Words[i], q.Words[i])
+		}
+	}
+}

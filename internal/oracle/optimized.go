@@ -1,0 +1,154 @@
+package oracle
+
+// The "optimized" program source: an oracle op sequence rendered as
+// Tangled/Qat assembly, pushed through the optimizing recompiler
+// (internal/opt), and decoded back into oracle ops. Running the recompiled
+// sequence anywhere the original runs extends the optimizer's differential
+// proof to the property-check layer: De Morgan, xor-as-addition-mod-2 and
+// PopAfter monotonicity must hold on recompiled programs exactly as they do
+// on the originals, on every backend.
+
+import (
+	"fmt"
+	"strings"
+
+	"tangled/internal/aob"
+	"tangled/internal/isa"
+	"tangled/internal/opt"
+)
+
+// renderSeq writes the register-writing ops of seq as assembly. Reductions
+// are skipped (they would perturb Tangled state mid-sequence; the oracle
+// compares full register state instead). The epilogue pins every register
+// live with a pop so dead-store elimination cannot delete the computation
+// whose final state the caller is about to Read, then halts.
+func renderSeq(seq []Inst, numRegs int) string {
+	var b strings.Builder
+	for _, in := range seq {
+		switch in.Op {
+		case OpZero:
+			fmt.Fprintf(&b, "\tzero\t@%d\n", in.D)
+		case OpOne:
+			fmt.Fprintf(&b, "\tone\t@%d\n", in.D)
+		case OpHad:
+			fmt.Fprintf(&b, "\thad\t@%d, %d\n", in.D, in.K)
+		case OpNot:
+			fmt.Fprintf(&b, "\tnot\t@%d\n", in.D)
+		case OpAnd:
+			fmt.Fprintf(&b, "\tand\t@%d, @%d, @%d\n", in.D, in.S, in.U)
+		case OpOr:
+			fmt.Fprintf(&b, "\tor\t@%d, @%d, @%d\n", in.D, in.S, in.U)
+		case OpXor:
+			fmt.Fprintf(&b, "\txor\t@%d, @%d, @%d\n", in.D, in.S, in.U)
+		case OpCNot:
+			fmt.Fprintf(&b, "\tcnot\t@%d, @%d\n", in.D, in.S)
+		case OpCCNot:
+			fmt.Fprintf(&b, "\tccnot\t@%d, @%d, @%d\n", in.D, in.S, in.U)
+		case OpSwap:
+			if in.D != in.S { // normalized away at the spec level
+				fmt.Fprintf(&b, "\tswap\t@%d, @%d\n", in.D, in.S)
+			}
+		case OpCSwap:
+			if in.D != in.S {
+				fmt.Fprintf(&b, "\tcswap\t@%d, @%d, @%d\n", in.D, in.S, in.U)
+			}
+		}
+	}
+	for q := 0; q < numRegs; q++ {
+		fmt.Fprintf(&b, "\tpop\t$1, @%d\n", q)
+	}
+	b.WriteString("\tlex\t$0, 0\n\tsys\n")
+	return b.String()
+}
+
+// decodeSeq maps an optimized program's Qat instructions back into oracle
+// ops, skipping the Tangled scaffolding (keep-alive pops, halt).
+func decodeSeq(words []uint16) ([]Inst, error) {
+	var seq []Inst
+	for i := 0; i < len(words); {
+		var w1 uint16
+		if i+1 < len(words) {
+			w1 = words[i+1]
+		}
+		in, n, err := isa.Primary.Decode(words[i], w1)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: recompiled word %d does not decode: %w", i, err)
+		}
+		i += n
+		var op Op
+		switch in.Op {
+		case isa.OpQZero:
+			op = OpZero
+		case isa.OpQOne:
+			op = OpOne
+		case isa.OpQHad:
+			op = OpHad
+		case isa.OpQNot:
+			op = OpNot
+		case isa.OpQAnd:
+			op = OpAnd
+		case isa.OpQOr:
+			op = OpOr
+		case isa.OpQXor:
+			op = OpXor
+		case isa.OpQCnot:
+			op = OpCNot
+		case isa.OpQCcnot:
+			op = OpCCNot
+		case isa.OpQSwap:
+			op = OpSwap
+		case isa.OpQCswap:
+			op = OpCSwap
+		default:
+			continue // Tangled scaffolding and reductions
+		}
+		seq = append(seq, Inst{Op: op,
+			D: int(in.QA), S: int(in.QB), U: int(in.QC), K: int(in.K)})
+	}
+	return seq, nil
+}
+
+// RecompileSeq routes the register-writing ops of seq through the
+// optimizing recompiler and returns the (possibly shorter) equivalent
+// sequence. The rendered program is well-formed by construction, so a
+// refusal is an error, not a pass-through. ways must be within the dense
+// hardware range; every Hadamard index in seq must be below it.
+func RecompileSeq(seq []Inst, ways, numRegs int) ([]Inst, *opt.Report, error) {
+	if ways <= 0 || ways > aob.MaxWays {
+		return nil, nil, fmt.Errorf("oracle: recompile at %d ways: out of dense range", ways)
+	}
+	if numRegs <= 0 || numRegs > isa.NumQRegs {
+		return nil, nil, fmt.Errorf("oracle: recompile over %d regs: out of range", numRegs)
+	}
+	src := renderSeq(seq, numRegs)
+	prog, rep, err := opt.OptimizeSource(src, opt.Options{Ways: ways})
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: recompiled source does not assemble: %w", err)
+	}
+	if !rep.Applied {
+		return nil, rep, fmt.Errorf("oracle: optimizer refused a well-formed gate sequence: %s", rep.Reason)
+	}
+	out, err := decodeSeq(prog.Words)
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
+// ScrambleRecompiled is Scramble with the op sequence routed through the
+// optimizing recompiler first: same seed, same resulting state, fewer (or
+// equal) gates. Diffing a Scrambled backend against a ScrambleRecompiled
+// one is the oracle-level differential proof of the optimizer.
+func ScrambleRecompiled(b Backend, seed int64, steps, regs int) error {
+	seq := scrambleSeq(b.Ways(), seed, steps, regs)
+	rec, _, err := RecompileSeq(seq, b.Ways(), regs)
+	if err != nil {
+		return err
+	}
+	for i, inst := range rec {
+		if err := b.Apply(inst); err != nil {
+			return fmt.Errorf("oracle: recompiled scramble step %d %s: %w", i, inst.Op, err)
+		}
+	}
+	return nil
+}

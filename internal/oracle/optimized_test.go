@@ -1,0 +1,99 @@
+package oracle
+
+// Tests of the recompiled ("optimized") program source: the optimizer's
+// output must hold the same final register state as the original sequence
+// on every backend representation, and the algebraic property checks must
+// survive recompilation of the scramble preamble.
+
+import (
+	"testing"
+)
+
+func TestRecompiledStateMatchesDirect(t *testing.T) {
+	for _, ways := range []int{1, 2, 5, 8, 11} {
+		for seed := int64(0); seed < 4; seed++ {
+			direct := NewRef(ways, testRegs)
+			if err := Scramble(direct, seed, 60, testRegs); err != nil {
+				t.Fatalf("ways=%d seed=%d: %v", ways, seed, err)
+			}
+			for _, rec := range backendSet(t, ways) {
+				if err := ScrambleRecompiled(rec, seed, 60, testRegs); err != nil {
+					t.Fatalf("ways=%d seed=%d %s: %v", ways, seed, rec.Name(), err)
+				}
+				if err := Diff(direct, rec); err != nil {
+					t.Fatalf("ways=%d seed=%d: recompiled %s diverges from direct ref: %v",
+						ways, seed, rec.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+func TestRecompiledShrinks(t *testing.T) {
+	// Across seeds, recompilation must actually save gates somewhere (the
+	// random sequences contain re-inits and constant-operand gates), and
+	// must never grow.
+	saved := 0
+	for seed := int64(0); seed < 8; seed++ {
+		seq := scrambleSeq(6, seed, 80, testRegs)
+		rec, rep, err := RecompileSeq(seq, 6, testRegs)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if len(rec) > len(seq) {
+			t.Fatalf("seed=%d: recompiled sequence grew: %d -> %d ops", seed, len(seq), len(rec))
+		}
+		saved += len(seq) - len(rec)
+		if rep.ErasedAfter > rep.ErasedBefore {
+			t.Fatalf("seed=%d: erased-bit bound grew: %d -> %d", seed, rep.ErasedBefore, rep.ErasedAfter)
+		}
+	}
+	if saved == 0 {
+		t.Fatal("recompilation saved nothing across all seeds: the source is vacuous")
+	}
+}
+
+func TestPropertiesOnRecompiledPrograms(t *testing.T) {
+	checks := []struct {
+		name string
+		fn   func(Backend) error
+	}{
+		{"de-morgan", CheckDeMorgan},
+		{"xor-add-mod-2", CheckXorAddMod2},
+		{"popafter-monotone", CheckPopAfterMonotone},
+	}
+	for _, ways := range []int{2, 5, 8} {
+		for seed := int64(0); seed < 3; seed++ {
+			for _, c := range checks {
+				for _, b := range backendSet(t, ways) {
+					if err := ScrambleRecompiled(b, seed*31+int64(ways), 40, testRegs); err != nil {
+						t.Fatalf("ways=%d seed=%d %s: %v", ways, seed, b.Name(), err)
+					}
+					if err := c.fn(b); err != nil {
+						t.Fatalf("ways=%d seed=%d check %s on recompiled state: %v", ways, seed, c.name, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRecompileSeqValidation(t *testing.T) {
+	if _, _, err := RecompileSeq(nil, 0, testRegs); err == nil {
+		t.Fatal("0 ways accepted")
+	}
+	if _, _, err := RecompileSeq(nil, 40, testRegs); err == nil {
+		t.Fatal("out-of-range ways accepted")
+	}
+	if _, _, err := RecompileSeq(nil, 4, 0); err == nil {
+		t.Fatal("0 regs accepted")
+	}
+	// The empty sequence recompiles to the empty sequence.
+	rec, rep, err := RecompileSeq(nil, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 0 || !rep.Applied {
+		t.Fatalf("empty sequence: %d ops, applied=%v", len(rec), rep.Applied)
+	}
+}

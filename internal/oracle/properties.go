@@ -9,11 +9,12 @@ import (
 	"math/rand"
 )
 
-// Scramble drives a deterministic pseudo-random register-op sequence (no
-// reductions) so every backend given the same seed holds identical, rich
-// state. It only touches registers [0, regs).
-func Scramble(b Backend, seed int64, steps, regs int) error {
+// scrambleSeq generates the deterministic pseudo-random register-op
+// sequence Scramble applies, so the recompiling variant (optimized.go) can
+// route the identical sequence through the optimizer.
+func scrambleSeq(ways int, seed int64, steps, regs int) []Inst {
 	r := rand.New(rand.NewSource(seed))
+	var seq []Inst
 	for i := 0; i < steps; i++ {
 		inst := Inst{
 			Op: Op(r.Intn(int(OpCSwap) + 1)), // register ops only
@@ -21,14 +22,24 @@ func Scramble(b Backend, seed int64, steps, regs int) error {
 			S:  r.Intn(regs),
 			U:  r.Intn(regs),
 		}
-		if b.Ways() > 0 {
-			inst.K = r.Intn(b.Ways())
+		if ways > 0 {
+			inst.K = r.Intn(ways)
 		} else if inst.Op == OpHad {
 			continue // no Hadamard patterns at 0 ways
 		}
 		if (inst.Op == OpSwap || inst.Op == OpCSwap) && inst.D == inst.S {
 			continue
 		}
+		seq = append(seq, inst)
+	}
+	return seq
+}
+
+// Scramble drives a deterministic pseudo-random register-op sequence (no
+// reductions) so every backend given the same seed holds identical, rich
+// state. It only touches registers [0, regs).
+func Scramble(b Backend, seed int64, steps, regs int) error {
+	for i, inst := range scrambleSeq(b.Ways(), seed, steps, regs) {
 		if err := b.Apply(inst); err != nil {
 			return fmt.Errorf("oracle: scramble step %d %s: %w", i, inst.Op, err)
 		}

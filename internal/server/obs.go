@@ -55,6 +55,12 @@ type serverObs struct {
 	rejected429 *obs.Counter // admissions refused for a full queue
 	idempHits   *obs.Counter // /v1/run responses replayed from the ID cache
 	lintRejects *obs.Counter // programs refused by strict lint before admission
+
+	optRequests   *obs.Counter // /v1/assemble requests that asked for optimize
+	optApplied    *obs.Counter // optimize requests that produced a rewrite
+	optRefused    *obs.Counter // optimize requests refused (unproven or lint errors)
+	optWordsSaved *obs.Counter // total words removed by applied rewrites
+	optInstsSaved *obs.Counter // total instructions removed by applied rewrites
 }
 
 // newServerObs registers the serving metric set on r. A nil registry yields
@@ -83,6 +89,16 @@ func newServerObs(r *obs.Registry) *serverObs {
 			"/v1/run responses replayed from the request-ID cache"),
 		lintRejects: r.Counter("server_lint_rejects_total",
 			"programs refused with 422 by strict lint before admission"),
+		optRequests: r.Counter("server_opt_requests_total",
+			"/v1/assemble requests that asked for the optimizing recompiler"),
+		optApplied: r.Counter("server_opt_applied_total",
+			"optimize requests where the recompiler rewrote the program"),
+		optRefused: r.Counter("server_opt_refused_total",
+			"optimize requests the recompiler refused (program returned unchanged)"),
+		optWordsSaved: r.Counter("server_opt_words_saved_total",
+			"program words removed by applied rewrites, summed over requests"),
+		optInstsSaved: r.Counter("server_opt_insts_saved_total",
+			"instructions removed by applied rewrites, summed over requests"),
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"tangled/internal/lint"
 	"tangled/internal/memo"
 	"tangled/internal/obs"
+	"tangled/internal/opt"
 	"tangled/internal/qasm"
 	"tangled/internal/qat"
 )
@@ -557,6 +558,24 @@ func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
 	resp := AssembleResponse{Words: prog.Words, Symbols: prog.Symbols}
 	if req.Lint {
 		resp.Lint = lint.Analyze(prog, lint.Options{Ways: req.Ways})
+	}
+	if req.Optimize {
+		s.obs.optRequests.Inc()
+		// The optimizer re-lints internally and refuses programs with
+		// error-level findings (reason "lint-errors"), so the lenient
+		// assemble endpoint stays a 200 either way: callers read
+		// Opt.Applied, mirroring the qatlint -optimize contract without
+		// turning a diagnostic into a transport failure.
+		optProg, orep := opt.Optimize(prog, opt.Options{Ways: req.Ways})
+		resp.Opt = orep
+		if orep.Applied {
+			resp.OptimizedWords = optProg.Words
+			s.obs.optApplied.Inc()
+			s.obs.optWordsSaved.Add(uint64(orep.WordsBefore - orep.WordsAfter))
+			s.obs.optInstsSaved.Add(uint64(orep.InstsBefore - orep.InstsAfter))
+		} else {
+			s.obs.optRefused.Inc()
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
