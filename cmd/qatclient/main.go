@@ -9,6 +9,12 @@
 //	qatclient -server URL assemble FILE.s
 //	qatclient -server URL health
 //	qatclient -server URL buildinfo
+//	qatclient -server URL submit [-tenant T] [-priority N] [-weight N]
+//	          [-wait] [run flags] FILE.s       # async: POST /v1/jobs
+//	qatclient -server URL status JOB-ID
+//	qatclient -server URL wait JOB-ID          # poll until terminal
+//	qatclient -server URL cancel JOB-ID
+//	qatclient -server URL events [-since N] [-follow=false]
 //	qatclient -server URL -load N [-concurrency C] [-batch-frac F]
 //	          [-memo] [-saturate] [-out BENCH_server.json]
 //
@@ -63,6 +69,12 @@ func main() {
 	constRegs := flag.Bool("const-regs", false, "run: constant-register Qat variant")
 	timeout := flag.Duration("timeout", 0, "run: per-program execution deadline")
 	reqID := flag.String("id", "", "run: explicit request/idempotency ID")
+	tenant := flag.String("tenant", "", "submit: fair-queuing tenant (default \"default\")")
+	priority := flag.Int("priority", 0, "submit: within-tenant priority (higher runs first)")
+	weight := flag.Int("weight", 0, "submit: tenant fair-share weight (default 1)")
+	wait := flag.Bool("wait", false, "submit: block until the job is terminal and print the final record")
+	since := flag.Uint64("since", 0, "events: replay buffered events after this sequence number")
+	follow := flag.Bool("follow", true, "events: keep streaming live events after the replay")
 	flag.Parse()
 
 	c := client.New(*serverURL)
@@ -75,7 +87,7 @@ func main() {
 	}
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "qatclient: need a command (run, assemble, health, buildinfo) or -load N; see -h")
+		fmt.Fprintln(os.Stderr, "qatclient: need a command (run, assemble, health, buildinfo, submit, status, wait, cancel, events) or -load N; see -h")
 		os.Exit(2)
 	}
 	ctx := context.Background()
@@ -85,6 +97,19 @@ func main() {
 		err = cmdRun(ctx, c, flag.Args()[1:], *mode, *ways, *stages, *constRegs, *timeout, *reqID)
 	case "assemble":
 		err = cmdAssemble(ctx, c, flag.Args()[1:])
+	case "submit":
+		err = cmdSubmit(ctx, c, flag.Args()[1:], runFlags{
+			mode: *mode, ways: *ways, stages: *stages, constRegs: *constRegs,
+			timeout: *timeout, id: *reqID,
+		}, *tenant, *priority, *weight, *wait)
+	case "status":
+		err = cmdJobStatus(ctx, c, flag.Args()[1:])
+	case "wait":
+		err = cmdJobWait(ctx, c, flag.Args()[1:])
+	case "cancel":
+		err = cmdJobCancel(ctx, c, flag.Args()[1:])
+	case "events":
+		err = cmdEvents(ctx, c, *since, *follow)
 	case "health":
 		var h server.Health
 		if h, err = c.Health(ctx); err == nil {

@@ -52,6 +52,10 @@ func main() {
 	portFile := flag.String("port-file", "", "write the bound address to FILE once listening (for -addr :0 scripting)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
 	strictLint := flag.Bool("strict-lint", false, "refuse statically broken programs (error-severity lint findings) with 422 before admission")
+	jobsDir := flag.String("jobs-dir", "", "enable the async job API (POST /v1/jobs, GET /v1/events) with a durable WAL-backed store in DIR; queued jobs survive restarts")
+	jobsQueue := flag.Int("jobs-queue", 0, "async job queue limit (default 1024; needs -jobs-dir)")
+	jobWorkers := flag.Int("jobs-workers", 0, "concurrent async jobs (default half of -workers; needs -jobs-dir)")
+	optAdmission := flag.Bool("opt-admission", false, "run the optimizing recompiler on async jobs at first admission (memo key stays the original program; needs -jobs-dir)")
 	quiet := flag.Bool("quiet", false, "suppress startup/drain log lines")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -70,16 +74,24 @@ func main() {
 	if *traceOut != "" {
 		ring = obs.NewTraceRing(0)
 	}
-	srv := server.New(server.Config{
-		Workers:     *workers,
-		QueueLimit:  *queue,
-		BatchWindow: *batchWindow,
-		BatchMax:    *batchMax,
-		MemoCap:     *memoCap,
-		StrictLint:  *strictLint,
-		Registry:    reg,
-		Trace:       ring,
+	srv, err := server.New(server.Config{
+		Workers:       *workers,
+		QueueLimit:    *queue,
+		BatchWindow:   *batchWindow,
+		BatchMax:      *batchMax,
+		MemoCap:       *memoCap,
+		StrictLint:    *strictLint,
+		JobsDir:       *jobsDir,
+		JobQueueLimit: *jobsQueue,
+		JobWorkers:    *jobWorkers,
+		OptAdmission:  *optAdmission,
+		Registry:      reg,
+		Trace:         ring,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qatserver: %v\n", err)
+		os.Exit(1)
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qatserver: %v\n", err)

@@ -178,7 +178,10 @@ func TestBatchTruncationDetected(t *testing.T) {
 // TestAgainstRealServer closes the loop: the retrying client against the
 // real serving stack, including an end-to-end idempotent replay.
 func TestAgainstRealServer(t *testing.T) {
-	s := server.New(server.Config{})
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	base, err := s.StartLocal()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,151 @@
+package client
+
+// Async job API: typed wrappers over POST/GET/DELETE /v1/jobs and the
+// GET /v1/events lifecycle stream, plus WaitJob — the backoff poller that
+// turns the async surface back into a blocking call when the caller wants
+// one. Submission reuses the idempotent-ID discipline of Run: the job ID
+// is minted client-side before the first attempt, so a retried submit
+// lands on the server's dedupe-by-ID path instead of enqueueing twice.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"tangled/internal/jobs"
+	"tangled/internal/server"
+)
+
+// SubmitJob submits one program to the async queue and returns its
+// accepted record (state "queued"). A request without an ID is assigned
+// one before the first attempt.
+func (c *Client) SubmitJob(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	if req.ID == "" {
+		req.ID = NewRequestID()
+	}
+	var out server.JobStatus
+	err := c.post(ctx, "/v1/jobs", &req, &out)
+	return out, err
+}
+
+// Job fetches one job's lifecycle status (result attached once terminal).
+func (c *Client) Job(ctx context.Context, id string) (server.JobStatus, error) {
+	var out server.JobStatus
+	err := c.get(ctx, "/v1/jobs/"+url.PathEscape(id), &out)
+	return out, err
+}
+
+// CancelJob requests cancellation and returns the post-call record: a
+// queued job comes back "canceled", a running one still "running" until
+// its context cancellation lands.
+func (c *Client) CancelJob(ctx context.Context, id string) (server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.cfg.BaseURL+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return server.JobStatus{}, decodeError(resp)
+	}
+	var out server.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// waitPoll* shape the WaitJob status-poll schedule: quick first checks for
+// short jobs, backing off toward a cap for long ones.
+const (
+	waitPollBase   = 25 * time.Millisecond
+	waitPollFactor = 1.6
+	waitPollMax    = time.Second
+)
+
+// WaitJob polls until the job reaches a terminal state (completed, failed
+// or canceled — inspect State/Reason/Result on the returned record) or
+// ctx ends. The poll interval backs off exponentially to waitPollMax.
+func (c *Client) WaitJob(ctx context.Context, id string) (server.JobStatus, error) {
+	delay := waitPollBase
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if jobs.State(st.State).Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return st, err
+		}
+		delay = time.Duration(float64(delay) * waitPollFactor)
+		if delay > waitPollMax {
+			delay = waitPollMax
+		}
+	}
+}
+
+// Events streams lifecycle events from GET /v1/events, calling fn for
+// each one after validating the stream's versioned header. since replays
+// buffered events past that sequence number first; follow=false returns
+// after the replay instead of streaming live. The stream ends cleanly
+// (nil) when the server closes it (drain) or fn returns false; ctx ends
+// it with ctx.Err().
+func (c *Client) Events(ctx context.Context, since uint64, follow bool, fn func(jobs.Event) bool) error {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	q.Set("follow", strconv.FormatBool(follow))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.cfg.BaseURL+"/v1/events?"+q.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 8<<20)
+	if !sc.Scan() {
+		return errors.New("client: empty events response")
+	}
+	var hdr server.EventsHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("client: bad events header: %w", err)
+	}
+	if hdr.Schema != jobs.EventsSchema || hdr.Version != jobs.EventsSchemaVersion {
+		return fmt.Errorf("client: events schema %q v%d, want %q v%d",
+			hdr.Schema, hdr.Version, jobs.EventsSchema, jobs.EventsSchemaVersion)
+	}
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("client: bad event line: %w", err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}

@@ -75,6 +75,35 @@ func jobKey(j *Job, prog *asm.Program, maxSteps uint64) memo.Key {
 	return ek.Sum()
 }
 
+// MemoKey exposes j's content address to serving layers that need to
+// populate the cache under the job's *original* identity while executing
+// a rewritten image (the optimize-at-admission path: the memo key must
+// stay the submitted program so later submissions of the same source hit,
+// whatever the optimizer did to the executed words). Returns false when
+// the job would bypass the cache (NoMemo, Inspect, traced pipelined runs,
+// no cache attached) or has no resolved program; when j carries source it
+// is assembled and stored back into j.Prog, like MemoProbe.
+func (e *Engine) MemoKey(j *Job) (memo.Key, bool) {
+	if e.jobCache(j, e.currentObs()) == nil {
+		return memo.Key{}, false
+	}
+	if j.Prog == nil {
+		if j.Src == "" {
+			return memo.Key{}, false
+		}
+		p, err := asm.Assemble(j.Src)
+		if err != nil {
+			return memo.Key{}, false
+		}
+		j.Prog = p
+	}
+	maxSteps := j.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	return jobKey(j, j.Prog, maxSteps), true
+}
+
 // MemoProbe checks whether j's result is already cached, without executing
 // anything or touching the worker pool. On a hit it returns the finished
 // Result (Cached set, Job index zero — the caller owns placement). Serving

@@ -1,0 +1,122 @@
+package jobs
+
+import "container/heap"
+
+// fairQueue is stride-based weighted fair queuing over tenants. Each
+// tenant carries a virtual "pass"; dispatch always picks the active
+// tenant with the smallest pass and advances it by 1/weight, so over any
+// saturated window tenants receive service proportional to their weights
+// regardless of how many jobs each has queued. A tenant that goes idle
+// and returns has its pass clamped up to the global virtual time, so it
+// cannot bank credit while away. Within a tenant, jobs are a strict
+// priority heap: higher Priority first, ties in submission (Seq) order.
+//
+// All methods are called under the Manager's lock.
+type fairQueue struct {
+	tenants map[string]*tenantQ
+	vtime   float64
+	size    int
+}
+
+type tenantQ struct {
+	name   string
+	weight int
+	pass   float64
+	jobs   jobHeap
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{tenants: make(map[string]*tenantQ)}
+}
+
+// push enqueues a job under its tenant, activating the tenant if idle.
+func (q *fairQueue) push(j *Job) {
+	t, ok := q.tenants[j.Tenant]
+	if !ok {
+		t = &tenantQ{name: j.Tenant, weight: 1}
+		q.tenants[j.Tenant] = t
+	}
+	if j.Weight > 0 {
+		t.weight = j.Weight
+	}
+	if t.jobs.Len() == 0 {
+		// Re-activation: no banked credit from idle time.
+		if t.pass < q.vtime {
+			t.pass = q.vtime
+		}
+	}
+	heap.Push(&t.jobs, j)
+	q.size++
+}
+
+// pop dispatches the next job: minimum-pass active tenant (name as a
+// deterministic tie-break), then that tenant's top-priority job. The
+// tenant's pass advances by the job's stride (1/weight). Returns nil when
+// empty.
+func (q *fairQueue) pop() *Job {
+	var best *tenantQ
+	for _, t := range q.tenants {
+		if t.jobs.Len() == 0 {
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	j := heap.Pop(&best.jobs).(*Job)
+	q.size--
+	q.vtime = best.pass
+	best.pass += 1.0 / float64(best.weight)
+	return j
+}
+
+// remove deletes a queued job (cancellation) wherever it sits.
+func (q *fairQueue) remove(j *Job) {
+	t, ok := q.tenants[j.Tenant]
+	if !ok || j.heapIdx < 0 || j.heapIdx >= t.jobs.Len() || t.jobs[j.heapIdx] != j {
+		return
+	}
+	heap.Remove(&t.jobs, j.heapIdx)
+	q.size--
+}
+
+// depth reports one tenant's queued-job count.
+func (q *fairQueue) depth(tenant string) int {
+	if t, ok := q.tenants[tenant]; ok {
+		return t.jobs.Len()
+	}
+	return 0
+}
+
+// jobHeap orders by Priority (higher first), then Seq (earlier first).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].Priority != h[b].Priority {
+		return h[a].Priority > h[b].Priority
+	}
+	return h[a].Seq < h[b].Seq
+}
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIdx = a
+	h[b].heapIdx = b
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*h = old[:n-1]
+	return j
+}

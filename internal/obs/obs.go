@@ -173,6 +173,49 @@ func (v *CounterVec) Total() uint64 {
 	return n
 }
 
+// GaugeVec is a gauge family over one label with a dynamic value set:
+// children are created on first use (With), unlike CounterVec's fixed
+// registration-time values. Built for per-tenant gauges, where the label
+// population (tenant names) is only known at serving time. Children are
+// never removed; a serving layer's tenant set is assumed to be bounded by
+// its own admission policy.
+type GaugeVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	gauges            map[string]*Gauge
+}
+
+// With returns the child gauge for the label value, creating it on first
+// use. Nil vecs return nil, which every Gauge method accepts.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.gauges[value]
+	if !ok {
+		g = &Gauge{name: v.name}
+		v.gauges[value] = g
+	}
+	return g
+}
+
+// Values returns the current label values, sorted (empty for nil).
+func (v *GaugeVec) Values() []string {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.gauges))
+	for k := range v.gauges {
+		vals = append(vals, k)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
 // gaugeFunc is a scrape-time gauge: the function is called during export.
 type gaugeFunc struct {
 	name, help string
@@ -255,6 +298,16 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return r.add(h).(*Histogram)
 }
 
+// GaugeVec registers (or fetches) a dynamic-label gauge family. Nil
+// registries return nil.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	v := &GaugeVec{name: name, help: help, label: label, gauges: make(map[string]*Gauge)}
+	return r.add(v).(*GaugeVec)
+}
+
 // CounterVec registers (or fetches) a counter family over one label with the
 // given fixed value set. Nil registries return nil.
 func (r *Registry) CounterVec(name, help, label string, values []string) *CounterVec {
@@ -307,6 +360,10 @@ func (r *Registry) Snapshot() map[string]interface{} {
 			for i, v := range m.values {
 				out[m.name+"{"+m.label+"="+strconv.Quote(v)+"}"] = m.counters[i].Value()
 			}
+		case *GaugeVec:
+			for _, v := range m.Values() {
+				out[m.name+"{"+m.label+"="+strconv.Quote(v)+"}"] = m.With(v).Value()
+			}
 		}
 	}
 	return out
@@ -323,6 +380,8 @@ func helpOf(m metric) string {
 	case *Histogram:
 		return m.help
 	case *CounterVec:
+		return m.help
+	case *GaugeVec:
 		return m.help
 	}
 	return ""
@@ -365,6 +424,14 @@ func (v *CounterVec) metricType() string { return "counter" }
 func (v *CounterVec) write(w io.Writer) {
 	for i, val := range v.values {
 		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, escapeLabel(val), v.counters[i].Value())
+	}
+}
+
+func (v *GaugeVec) metricName() string { return v.name }
+func (v *GaugeVec) metricType() string { return "gauge" }
+func (v *GaugeVec) write(w io.Writer) {
+	for _, val := range v.Values() {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, escapeLabel(val), v.With(val).Value())
 	}
 }
 

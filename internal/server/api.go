@@ -7,6 +7,7 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	"tangled/internal/aob"
 	"tangled/internal/farm"
@@ -119,6 +120,53 @@ type RunResult struct {
 	Cached bool `json:"cached,omitempty"`
 }
 
+// JobRequest is the body of POST /v1/jobs: one program submission plus the
+// async-queue placement fields. The embedded RunRequest is validated (and
+// strict-linted) exactly like a synchronous run before the job is admitted,
+// so a 202 means the program will execute.
+type JobRequest struct {
+	RunRequest
+	// Tenant names the fair-queuing principal; empty means "default". Each
+	// tenant receives service proportional to its weight under saturation.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders this tenant's own jobs (higher first, ties in submit
+	// order); it never preempts other tenants.
+	Priority int `json:"priority,omitempty"`
+	// Weight sets the tenant's fair-share weight (<= 0 means 1).
+	Weight int `json:"weight,omitempty"`
+}
+
+// JobStatus is the body of POST/GET/DELETE /v1/jobs responses: the job's
+// lifecycle record, with the result attached once terminal.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	// State is queued/running/completed/failed/canceled; Reason explains
+	// failed and canceled states.
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	// Priority echoes the submission's placement.
+	Priority int `json:"priority,omitempty"`
+	// Resumed marks a job re-admitted from the WAL after a server restart.
+	Resumed bool `json:"resumed,omitempty"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+
+	// Result is the program outcome, present on terminal jobs that
+	// executed (completed always; failed when execution produced a
+	// classified record before erroring).
+	Result *RunResult `json:"result,omitempty"`
+}
+
+// EventsHeader is the first NDJSON line of a GET /v1/events stream,
+// versioned like the batch results header and the cycle-trace stream.
+type EventsHeader struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+}
+
 // LineError is one assembler diagnostic in an ErrorResponse.
 type LineError struct {
 	Line int `json:"line"`
@@ -157,6 +205,13 @@ type Health struct {
 	Workers int `json:"workers"`
 	// JobsDone counts jobs completed over the server's lifetime.
 	JobsDone uint64 `json:"jobs_done"`
+	// Draining mirrors Status == "draining" as a boolean, so pollers and
+	// routers branch without string comparison.
+	Draining bool `json:"draining"`
+	// JobsQueued/JobsRunning describe the async job subsystem's queue (both
+	// zero when the server runs without one).
+	JobsQueued  int `json:"jobs_queued"`
+	JobsRunning int `json:"jobs_running"`
 }
 
 // BuildInfo is the body of GET /v1/buildinfo.
@@ -173,6 +228,14 @@ type BuildInfo struct {
 	ResultsVer    int    `json:"results_version"`
 	TraceSchema   string `json:"trace_schema"`
 	TraceVer      int    `json:"trace_version"`
+	// Capabilities lists the server's feature set ("jobs", "events",
+	// "memo", "opt", "opt-admission", "backend:re") so clients
+	// feature-detect from one probe instead of poking endpoints.
+	Capabilities []string `json:"capabilities,omitempty"`
+	// EventsSchema/EventsVer version the /v1/events lifecycle stream,
+	// present when the jobs subsystem is enabled.
+	EventsSchema string `json:"events_schema,omitempty"`
+	EventsVer    int    `json:"events_version,omitempty"`
 }
 
 // AssembleRequest is the body of POST /v1/assemble.

@@ -15,7 +15,7 @@ import (
 )
 
 // routes label the per-route request counter; "other" collects 404 traffic.
-var routeLabels = []string{"run", "batch", "assemble", "healthz", "buildinfo", "other"}
+var routeLabels = []string{"run", "batch", "assemble", "healthz", "buildinfo", "jobs", "events", "other"}
 
 const (
 	routeRun = iota
@@ -23,13 +23,15 @@ const (
 	routeAssemble
 	routeHealthz
 	routeBuildinfo
+	routeJobs
+	routeEvents
 	routeOther
 )
 
 // statusLabels are the statuses the server can produce; unexpected codes
 // fold onto their class ("2xx".."5xx" would lose 429 vs 400, so the known
 // set is explicit).
-var statusLabels = []string{"200", "400", "404", "405", "413", "422", "429", "499", "500", "503", "504"}
+var statusLabels = []string{"200", "202", "400", "404", "405", "409", "413", "422", "429", "499", "500", "503", "504"}
 
 // requestLatencyBuckets span HTTP round-trips from sub-millisecond cached
 // replies to multi-second deep batches.
@@ -61,6 +63,11 @@ type serverObs struct {
 	optRefused    *obs.Counter // optimize requests refused (unproven or lint errors)
 	optWordsSaved *obs.Counter // total words removed by applied rewrites
 	optInstsSaved *obs.Counter // total instructions removed by applied rewrites
+
+	// optAdmission counts async jobs whose program was rewritten by the
+	// optimize-at-first-admission path (memo miss, recompiler applied
+	// cleanly, shrunk image executed under the original memo key).
+	optAdmission *obs.Counter
 }
 
 // newServerObs registers the serving metric set on r. A nil registry yields
@@ -99,6 +106,8 @@ func newServerObs(r *obs.Registry) *serverObs {
 			"program words removed by applied rewrites, summed over requests"),
 		optInstsSaved: r.Counter("server_opt_insts_saved_total",
 			"instructions removed by applied rewrites, summed over requests"),
+		optAdmission: r.Counter("server_opt_admission_applied_total",
+			"async jobs executed through an optimize-at-admission rewrite"),
 	}
 }
 

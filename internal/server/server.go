@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,7 @@ import (
 	"tangled/internal/aob"
 	"tangled/internal/asm"
 	"tangled/internal/farm"
+	"tangled/internal/jobs"
 	"tangled/internal/lint"
 	"tangled/internal/memo"
 	"tangled/internal/obs"
@@ -90,6 +92,29 @@ type Config struct {
 	// programs are not memoized while Trace is attached (their rows must
 	// be emitted by a real execution).
 	MemoCap int
+
+	// JobsDir enables the async job subsystem (POST /v1/jobs, GET
+	// /v1/events): the durable WAL-backed store lives here and queued jobs
+	// survive restarts. Empty disables the endpoints entirely — the
+	// synchronous API is unchanged either way.
+	JobsDir string
+	// JobsEphemeral enables the job endpoints without persistence (tests
+	// and memory-only deployments); ignored when JobsDir is set.
+	JobsEphemeral bool
+	// JobQueueLimit bounds queued+running async jobs; <= 0 means 1024.
+	JobQueueLimit int
+	// JobWorkers bounds concurrently executing async jobs; <= 0 means
+	// half the farm's workers (min 1), so synchronous traffic keeps farm
+	// capacity even under a saturated job queue.
+	JobWorkers int
+	// JobRetention bounds retained terminal job records; <= 0 means 4096.
+	JobRetention int
+	// OptAdmission runs the optimizing recompiler on async jobs that miss
+	// the memo cache: when it applies cleanly the shrunk image executes
+	// (byte-identical results, proven by the opt differential suite) and
+	// the memo entry is stored under the *original* program's key, so the
+	// rewrite happens once per distinct program, at first admission.
+	OptAdmission bool
 
 	// StrictLint runs the static analyzer over every submitted program and
 	// refuses those with error-severity findings (cannot halt, illegal
@@ -148,6 +173,7 @@ type Server struct {
 
 	coal  *coalescer
 	idemp *idempCache
+	jobs  *jobs.Manager // nil unless the async job subsystem is enabled
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -155,8 +181,10 @@ type Server struct {
 	serveWG sync.WaitGroup
 }
 
-// New builds a Server over a fresh farm engine.
-func New(cfg Config) *Server {
+// New builds a Server over a fresh farm engine. The error is non-nil only
+// when the async job store could not be opened (bad JobsDir, corrupt WAL
+// header); servers without a job subsystem cannot fail to construct.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	engine := farm.New(cfg.Workers)
 	so := newServerObs(cfg.Registry)
@@ -179,12 +207,42 @@ func New(cfg Config) *Server {
 	}
 	s.coal = newCoalescer(engine, cfg.BatchWindow, cfg.BatchMax, so)
 
+	if cfg.JobsDir != "" || cfg.JobsEphemeral {
+		jw := cfg.JobWorkers
+		if jw <= 0 {
+			jw = engine.Workers() / 2
+			if jw < 1 {
+				jw = 1
+			}
+		}
+		var jo *jobs.Obs
+		if cfg.Registry != nil {
+			jo = jobs.NewObs(cfg.Registry)
+		}
+		mgr, err := jobs.New(jobs.Config{
+			Dir:        cfg.JobsDir,
+			Workers:    jw,
+			QueueLimit: cfg.JobQueueLimit,
+			Retention:  cfg.JobRetention,
+			Obs:        jo,
+		}, s.execJob)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = mgr
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.route(routeRun, http.MethodPost, s.handleRun))
 	mux.HandleFunc("/v1/batch", s.route(routeBatch, http.MethodPost, s.handleBatch))
 	mux.HandleFunc("/v1/assemble", s.route(routeAssemble, http.MethodPost, s.handleAssemble))
 	mux.HandleFunc("/v1/healthz", s.route(routeHealthz, http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/v1/buildinfo", s.route(routeBuildinfo, http.MethodGet, s.handleBuildinfo))
+	if s.jobs != nil {
+		mux.HandleFunc("/v1/jobs", s.route(routeJobs, http.MethodPost, s.handleJobSubmit))
+		mux.HandleFunc("/v1/jobs/{id}", s.route(routeJobs, "", s.handleJobByID))
+		mux.HandleFunc("/v1/events", s.route(routeEvents, http.MethodGet, s.handleEvents))
+	}
 	if cfg.Registry != nil {
 		mux.Handle("/metrics", obs.Handler(cfg.Registry))
 		mux.Handle("/debug/", obs.Handler(cfg.Registry))
@@ -193,7 +251,7 @@ func New(cfg Config) *Server {
 		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: "no such route: " + r.URL.Path})
 	}))
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Engine exposes the underlying farm (its Totals feed healthz and tests).
@@ -247,13 +305,24 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	var err error
+	if s.jobs != nil {
+		// The job manager drains first: running jobs finish (they still
+		// need the coalescer and listener-independent farm below), queued
+		// jobs are persisted by the closing compaction and resume on the
+		// next start, and the event stream closes — which ends any
+		// long-lived /v1/events handlers so Shutdown can complete.
+		err = s.jobs.Close(ctx)
+	}
 	if s.httpSrv != nil {
 		// Shutdown stops accepting and waits for in-flight handlers —
 		// each of which is waiting on its jobs' results — so admitted work
 		// finishes before this returns.
-		err = s.httpSrv.Shutdown(ctx)
-		if err != nil {
+		serr := s.httpSrv.Shutdown(ctx)
+		if serr != nil {
 			s.httpSrv.Close()
+			if err == nil {
+				err = serr
+			}
 		}
 		s.serveWG.Wait()
 	}
@@ -265,6 +334,13 @@ func (s *Server) Drain(ctx context.Context) error {
 // work (tests; production uses Drain).
 func (s *Server) Close() error {
 	s.draining.Store(true)
+	if s.jobs != nil {
+		// An already-expired context: running jobs are canceled rather than
+		// awaited, then the store compacts and closes.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		s.jobs.Close(ctx)
+	}
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 		s.serveWG.Wait()
@@ -328,16 +404,47 @@ func (w *statusWriter) Flush() {
 // admit reserves n queue slots, or reports the refusal the caller must turn
 // into a 429. The corresponding release is mandatory.
 func (s *Server) admit(n int) bool {
+	if !s.tryAdmit(n) {
+		s.obs.rejected429.Inc()
+		return false
+	}
+	return true
+}
+
+// tryAdmit is admit without the rejection counter — the primitive the
+// async dispatcher's blocking wait is built on, where a full queue is a
+// normal condition to wait out, not a refusal to count.
+func (s *Server) tryAdmit(n int) bool {
 	limit := int64(s.cfg.QueueLimit)
 	for {
 		cur := s.queue.Load()
 		if cur+int64(n) > limit {
-			s.obs.rejected429.Inc()
 			return false
 		}
 		if s.queue.CompareAndSwap(cur, cur+int64(n)) {
 			s.obs.queueDepth.Set(cur + int64(n))
 			return true
+		}
+	}
+}
+
+// admitWait blocks until n slots are reserved or ctx ends. Async jobs use
+// it to share the one admission queue with synchronous traffic: a job
+// never jumps the bound, it waits its turn behind it.
+func (s *Server) admitWait(ctx context.Context, n int) error {
+	if s.tryAdmit(n) {
+		return nil
+	}
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			if s.tryAdmit(n) {
+				return nil
+			}
 		}
 	}
 }
@@ -591,9 +698,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workers:    s.engine.Workers(),
 		JobsDone:   s.jobsDone.Load(),
 	}
+	if s.jobs != nil {
+		h.JobsQueued, h.JobsRunning = s.jobs.Depths()
+	}
 	code := http.StatusOK
 	if s.draining.Load() {
 		h.Status = "draining"
+		h.Draining = true
 		code = http.StatusServiceUnavailable
 	}
 	s.writeJSON(w, code, h)
@@ -613,6 +724,19 @@ func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
 		TraceSchema:   obs.TraceSchema,
 		TraceVer:      obs.TraceSchemaVersion,
 	}
+	info.Capabilities = []string{"opt", "backend:re"}
+	if s.cfg.MemoCap > 0 {
+		info.Capabilities = append(info.Capabilities, "memo")
+	}
+	if s.jobs != nil {
+		info.Capabilities = append(info.Capabilities, "jobs", "events")
+		info.EventsSchema = jobs.EventsSchema
+		info.EventsVer = jobs.EventsSchemaVersion
+		if s.cfg.OptAdmission {
+			info.Capabilities = append(info.Capabilities, "opt-admission")
+		}
+	}
+	sort.Strings(info.Capabilities)
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		info.Module = bi.Main.Path
 		for _, kv := range bi.Settings {

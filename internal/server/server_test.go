@@ -33,7 +33,10 @@ const spinSrc = "lex $1,1\nL:\nbrt $1,L\n"
 // behavior pass a non-zero Config.
 func startTestServer(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base, err := s.StartLocal()
 	if err != nil {
 		t.Fatal(err)
@@ -295,7 +298,10 @@ func TestDeadlineMidBatch(t *testing.T) {
 }
 
 func TestClientDisconnect499(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	body, _ := json.Marshal(RunRequest{Src: spinSrc})

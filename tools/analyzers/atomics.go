@@ -15,6 +15,7 @@ var atomicAllowed = []string{
 	"internal/obs",
 	"internal/farm",
 	"internal/memo", // cache hit/miss/eviction/dedup counters + obs handle swap
+	"internal/jobs", // worker/drain coordination in the async queue and its tests
 	"internal/server",
 	"internal/client",
 	"cmd/qatclient",

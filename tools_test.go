@@ -4,6 +4,7 @@
 package tangled_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -14,7 +15,9 @@ import (
 	"testing"
 	"time"
 
+	"tangled/internal/farm/farmtest"
 	"tangled/internal/obs"
+	"tangled/internal/server"
 )
 
 // buildTool compiles one command into dir and returns the binary path.
@@ -408,5 +411,133 @@ func TestQatServerClientEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(srvLog.String(), "drained cleanly") {
 		t.Fatalf("server log lacks drain confirmation:\n%s", srvLog.String())
+	}
+}
+
+// TestJobsCrashResumeEndToEnd is the durability proof against real
+// processes: submit async jobs through qatclient, SIGKILL qatserver while
+// some are queued behind a long-running job, restart it on the same store
+// directory, and verify the WAL replay contract — queued jobs re-run
+// exactly once to completion (marked resumed, results byte-identical to a
+// synchronous run of the same program), the job that was mid-execution is
+// failed with the resume reason, and the event stream carries the resumed
+// transitions.
+func TestJobsCrashResumeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	serverBin := buildTool(t, dir, "qatserver")
+	clientBin := buildTool(t, dir, "qatclient")
+	jobsDir := filepath.Join(dir, "jobs")
+
+	startServer := func(portFile string) (*exec.Cmd, string) {
+		srv := exec.Command(serverBin,
+			"-addr", "127.0.0.1:0", "-port-file", portFile,
+			"-jobs-dir", jobsDir, "-jobs-workers", "1", "-quiet")
+		var srvLog strings.Builder
+		srv.Stderr = &srvLog
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var addr string
+		for i := 0; i < 100; i++ {
+			if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+				addr = strings.TrimSpace(string(b))
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if addr == "" {
+			srv.Process.Kill()
+			t.Fatalf("server never wrote its port file\n%s", srvLog.String())
+		}
+		return srv, "http://" + addr
+	}
+
+	srv1, base1 := startServer(filepath.Join(dir, "port1.txt"))
+	defer srv1.Process.Kill()
+
+	// The holder occupies the single job worker (a spin bounded only by its
+	// generous timeout), so everything submitted after it stays queued.
+	const spin = "lex $1,1\nL:\nbrt $1,L\n"
+	if _, stderr, err := runTool(t, clientBin, spin,
+		"-server", base1, "-id", "holder", "-timeout", "30s", "submit", "-"); err != nil {
+		t.Fatalf("submit holder: %v\n%s", err, stderr)
+	}
+	const queued = 4
+	srcs := make([]string, queued)
+	for i := 0; i < queued; i++ {
+		srcs[i] = farmtest.Generate(farmtest.Seed(100 + i))
+		if _, stderr, err := runTool(t, clientBin, srcs[i],
+			"-server", base1, "-id", fmt.Sprintf("q%d", i), "-ways", fmt.Sprint(farmtest.Ways),
+			"submit", "-"); err != nil {
+			t.Fatalf("submit q%d: %v\n%s", i, err, stderr)
+		}
+	}
+
+	// SIGKILL: no drain, no compaction — the WAL alone carries the state.
+	if err := srv1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Wait()
+
+	srv2, base2 := startServer(filepath.Join(dir, "port2.txt"))
+	defer func() {
+		srv2.Process.Signal(syscall.SIGTERM)
+		srv2.Wait()
+	}()
+
+	// The mid-execution holder was conservatively failed, never re-run.
+	out, stderr, err := runTool(t, clientBin, "", "-server", base2, "status", "holder")
+	if err != nil {
+		t.Fatalf("status holder: %v\n%s", err, stderr)
+	}
+	var holder server.JobStatus
+	if err := json.Unmarshal([]byte(out), &holder); err != nil {
+		t.Fatalf("holder status decode: %v\n%s", err, out)
+	}
+	if holder.State != "failed" || !strings.Contains(holder.Reason, "restarted") || !holder.Resumed {
+		t.Fatalf("holder after restart: %+v", holder)
+	}
+
+	// Every queued job re-runs to completion, marked resumed, its result
+	// byte-identical to a synchronous run of the same program.
+	for i := 0; i < queued; i++ {
+		id := fmt.Sprintf("q%d", i)
+		out, stderr, err := runTool(t, clientBin, "", "-server", base2, "wait", id)
+		if err != nil {
+			t.Fatalf("wait %s: %v\n%s", id, err, stderr)
+		}
+		var st server.JobStatus
+		if err := json.Unmarshal([]byte(out), &st); err != nil {
+			t.Fatalf("wait %s decode: %v\n%s", id, err, out)
+		}
+		if st.State != "completed" || !st.Resumed || st.Result == nil {
+			t.Fatalf("resumed job %s: %+v", id, st)
+		}
+		out, stderr, err = runTool(t, clientBin, srcs[i],
+			"-server", base2, "-id", id+"-sync", "-ways", fmt.Sprint(farmtest.Ways), "run", "-")
+		if err != nil {
+			t.Fatalf("sync run %s: %v\n%s", id, err, stderr)
+		}
+		var sync server.RunResult
+		if err := json.Unmarshal([]byte(out), &sync); err != nil {
+			t.Fatalf("sync run %s decode: %v\n%s", id, err, out)
+		}
+		if sync.Regs != st.Result.Regs || sync.Output != st.Result.Output || sync.Insts != st.Result.Insts {
+			t.Fatalf("job %s result diverged from sync run:\nasync: %+v\nsync:  %+v", id, st.Result, sync)
+		}
+	}
+
+	// The restarted server's event stream replays the resume transitions.
+	out, stderr, err = runTool(t, clientBin, "", "-server", base2, "-follow=false", "events")
+	if err != nil {
+		t.Fatalf("events: %v\n%s", err, stderr)
+	}
+	for _, frag := range []string{`"type":"resumed"`, `"type":"completed"`, `"job":"q0"`} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("event replay missing %s:\n%s", frag, out)
+		}
 	}
 }
