@@ -19,14 +19,30 @@ import (
 	"tangled/internal/server"
 )
 
-// runFlags carries the shared run-shaped flags into submit.
+// runFlags carries the shared run-shaped flags into run and submit.
 type runFlags struct {
 	mode      string
 	ways      int
 	stages    int
 	constRegs bool
+	backend   string
+	chunkWays int
+	spillRuns int
 	timeout   time.Duration
 	id        string
+}
+
+// request builds the RunRequest the flags describe for src.
+func (rf runFlags) request(src string) server.RunRequest {
+	req := server.RunRequest{
+		ID: rf.id, Src: src, Mode: rf.mode,
+		Ways: rf.ways, Stages: rf.stages, ConstRegs: rf.constRegs,
+		Backend: rf.backend, ChunkWays: rf.chunkWays, SpillRuns: rf.spillRuns,
+	}
+	if rf.timeout > 0 {
+		req.TimeoutMs = rf.timeout.Milliseconds()
+	}
+	return req
 }
 
 func cmdSubmit(ctx context.Context, c *client.Client, args []string,
@@ -36,16 +52,10 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string,
 		return err
 	}
 	req := server.JobRequest{
-		RunRequest: server.RunRequest{
-			ID: rf.id, Src: src, Mode: rf.mode,
-			Ways: rf.ways, Stages: rf.stages, ConstRegs: rf.constRegs,
-		},
-		Tenant:   tenant,
-		Priority: priority,
-		Weight:   weight,
-	}
-	if rf.timeout > 0 {
-		req.TimeoutMs = rf.timeout.Milliseconds()
+		RunRequest: rf.request(src),
+		Tenant:     tenant,
+		Priority:   priority,
+		Weight:     weight,
 	}
 	st, err := c.SubmitJob(ctx, req)
 	if err != nil {

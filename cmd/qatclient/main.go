@@ -5,6 +5,7 @@
 // Usage:
 //
 //	qatclient -server URL run [-mode M] [-ways N] [-stages N] [-const-regs]
+//	          [-backend dense|re|auto] [-chunk-ways N] [-spill-runs N]
 //	          [-timeout D] [-id ID] FILE.s     # or - for stdin
 //	qatclient -server URL assemble FILE.s
 //	qatclient -server URL health
@@ -67,6 +68,9 @@ func main() {
 	ways := flag.Int("ways", 0, "run: entanglement degree (0 = full hardware)")
 	stages := flag.Int("stages", 0, "run: pipeline depth for -mode pipelined (4 or 5)")
 	constRegs := flag.Bool("const-regs", false, "run: constant-register Qat variant")
+	backendName := flag.String("backend", "", "run: Qat register file (dense, re, or auto — the server's planner picks and reports its choice)")
+	chunkWays := flag.Int("chunk-ways", 0, "run: re backend symbol chunk width (0 = server default)")
+	spillRuns := flag.Int("spill-runs", 0, "run: re backend dense-spill run budget (0 = server default, negative disables)")
 	timeout := flag.Duration("timeout", 0, "run: per-program execution deadline")
 	reqID := flag.String("id", "", "run: explicit request/idempotency ID")
 	tenant := flag.String("tenant", "", "submit: fair-queuing tenant (default \"default\")")
@@ -92,16 +96,18 @@ func main() {
 	}
 	ctx := context.Background()
 	var err error
+	rf := runFlags{
+		mode: *mode, ways: *ways, stages: *stages, constRegs: *constRegs,
+		backend: *backendName, chunkWays: *chunkWays, spillRuns: *spillRuns,
+		timeout: *timeout, id: *reqID,
+	}
 	switch cmd := flag.Arg(0); cmd {
 	case "run":
-		err = cmdRun(ctx, c, flag.Args()[1:], *mode, *ways, *stages, *constRegs, *timeout, *reqID)
+		err = cmdRun(ctx, c, flag.Args()[1:], rf)
 	case "assemble":
 		err = cmdAssemble(ctx, c, flag.Args()[1:])
 	case "submit":
-		err = cmdSubmit(ctx, c, flag.Args()[1:], runFlags{
-			mode: *mode, ways: *ways, stages: *stages, constRegs: *constRegs,
-			timeout: *timeout, id: *reqID,
-		}, *tenant, *priority, *weight, *wait)
+		err = cmdSubmit(ctx, c, flag.Args()[1:], rf, *tenant, *priority, *weight, *wait)
 	case "status":
 		err = cmdJobStatus(ctx, c, flag.Args()[1:])
 	case "wait":
@@ -147,20 +153,12 @@ func printJSON(v interface{}) error {
 	return enc.Encode(v)
 }
 
-func cmdRun(ctx context.Context, c *client.Client, args []string,
-	mode string, ways, stages int, constRegs bool, timeout time.Duration, id string) error {
+func cmdRun(ctx context.Context, c *client.Client, args []string, rf runFlags) error {
 	src, err := readSource(args)
 	if err != nil {
 		return err
 	}
-	req := server.RunRequest{
-		ID: id, Src: src, Mode: mode,
-		Ways: ways, Stages: stages, ConstRegs: constRegs,
-	}
-	if timeout > 0 {
-		req.TimeoutMs = timeout.Milliseconds()
-	}
-	res, err := c.Run(ctx, req)
+	res, err := c.Run(ctx, rf.request(src))
 	if err != nil {
 		return err
 	}

@@ -13,9 +13,16 @@
 // unchanged with the refusal reason; programs with error-level findings are
 // never rewritten and fail the run with exit status 2.
 //
+// With -profile it additionally runs the static entanglement/cost profiler
+// (internal/profile) over each assemblable input: per-register degree
+// bounds, entangled channel groups, run-length compressibility, energy
+// bounds, and the backend auto-planner's decision for the requested width
+// are reported per file (and embedded in the -json output as "profile" and
+// "plan").
+//
 // Usage:
 //
-//	qatlint [-json] [-severity error|warning|info] [-ways N] [-hot N] [-optimize] prog.s ...
+//	qatlint [-json] [-severity error|warning|info] [-ways N] [-hot N] [-optimize] [-profile] prog.s ...
 //	qatlint -farmtest N          also lint the generated test corpus
 //
 // Input "-" (or no arguments) reads from stdin. The exit status is the CI
@@ -33,9 +40,12 @@ import (
 	"os"
 
 	"tangled/internal/asm"
+	"tangled/internal/backend"
 	"tangled/internal/farm/farmtest"
 	"tangled/internal/lint"
 	"tangled/internal/opt"
+	"tangled/internal/profile"
+	"tangled/internal/qat"
 )
 
 // fileReport is one input's result in the JSON output.
@@ -50,6 +60,11 @@ type fileReport struct {
 	Opt            *opt.Report `json:"opt,omitempty"`
 	OptimizedWords []uint16    `json:"optimized_words,omitempty"`
 	OptimizedAsm   []string    `json:"optimized_asm,omitempty"`
+	// Profile is the static entanglement/cost profile (-profile only); Plan
+	// is the backend the auto-planner resolves for the requested width, or
+	// "unservable" when no backend can hold it.
+	Profile *lint.Profile `json:"profile,omitempty"`
+	Plan    string        `json:"plan,omitempty"`
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
@@ -63,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	hot := fs.Uint64("hot", 0, "erased-bits-per-iteration budget for hot-block findings (0 = default)")
 	nCorpus := fs.Int("farmtest", 0, "also lint the first N generated farmtest corpus programs")
 	optimize := fs.Bool("optimize", false, "rewrite lint-clean programs through the optimizing recompiler")
+	profileMode := fs.Bool("profile", false, "run the static entanglement/cost profiler and report the planner decision")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -140,7 +156,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			results = append(results, fr)
 			continue
 		}
-		r := lint.Analyze(prog, opts)
+		var r *lint.Report
+		if *profileMode {
+			var f *lint.Facts
+			r, f = lint.AnalyzeWithFacts(prog, opts)
+			// Profile at the requested width (which may exceed the dense
+			// clamp lint applies), then ask the planner what backend an
+			// "auto" request at that width would resolve to.
+			planWays := *ways
+			if planWays == 0 {
+				planWays = opts.Ways
+			}
+			p := profile.Compute(f, profile.Options{Ways: planWays})
+			fr.Profile = p
+			if plan, perr := backend.Decide(p, qat.Config{Ways: planWays, Backend: backend.Auto}, nil); perr != nil {
+				fr.Plan = "unservable"
+			} else {
+				fr.Plan = plan.Config.Backend
+			}
+			if !*jsonOut {
+				printProfile(stdout, in.name, fr.Profile, fr.Plan)
+			}
+		} else {
+			r = lint.Analyze(prog, opts)
+		}
 		fr.Report = r
 		if r.CountAtLeast(gate) > 0 {
 			failed = true
@@ -194,6 +233,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printProfile renders the text-mode profile summary and planner decision.
+func printProfile(w io.Writer, name string, p *lint.Profile, plan string) {
+	mode := "precise"
+	if p.Imprecise {
+		mode = "imprecise"
+	}
+	fmt.Fprintf(w, "%s: profile: ways %d, degree bound %d, required ways %d (%s)\n",
+		name, p.Ways, p.DegreeBound, p.RequiredWays, mode)
+	fmt.Fprintf(w, "%s: profile: insts %d, qat ops %d, writes %d (structured %d), compressibility %.2f\n",
+		name, p.Insts, p.QatOps, p.QatWrites, p.StructuredWrites, p.Compressibility)
+	fmt.Fprintf(w, "%s: profile: energy bound: switched %d, erased %d, loop blocks %d\n",
+		name, p.SwitchedBound, p.ErasedBound, p.LoopBlocks)
+	for _, g := range p.Groups {
+		fmt.Fprintf(w, "%s: profile:   entangled channels %v\n", name, g)
+	}
+	for _, b := range p.Blocks {
+		fmt.Fprintf(w, "%s: profile:   block %d [%#04x,%#04x): degree %d, writes %d/%d, switched %d, erased %d\n",
+			name, b.ID, b.Start, b.End, b.MaxDegree, b.StructuredWrites, b.QatWrites, b.SwitchedBits, b.ErasedBits)
+	}
+	fmt.Fprintf(w, "%s: profile: plan: %s\n", name, plan)
 }
 
 // printOptSummary renders the text-mode delta report and rewritten listing.

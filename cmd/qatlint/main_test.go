@@ -135,3 +135,58 @@ func TestBadSeverityExit2(t *testing.T) {
 		t.Fatalf("exit %d, want 2 (%s)", code, errb)
 	}
 }
+
+const profileSrc = "\thad @1, 0\n\thad @2, 1\n\tcnot @1, @2\n\tmeas $3, @1\n\tlex $0, 0\n\tsys\n"
+
+func TestProfileText(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-profile", "-ways", "6", "-severity", "error"}, profileSrc)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	for _, want := range []string{
+		"profile: ways 6, degree bound 2, required ways 2 (precise)",
+		"entangled channels [0 1]",
+		"profile: plan: dense",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileJSON(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-profile", "-json", "-ways", "20", "-severity", "error"}, profileSrc)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	var parsed struct {
+		Files []struct {
+			Plan    string `json:"plan"`
+			Profile *struct {
+				Ways        int `json:"ways"`
+				DegreeBound int `json:"degree_bound"`
+			} `json:"profile"`
+		} `json:"files"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	f := parsed.Files[0]
+	if f.Profile == nil || f.Profile.Ways != 20 || f.Profile.DegreeBound != 2 {
+		t.Fatalf("profile = %+v", f.Profile)
+	}
+	// Ways 20 exceeds dense hardware: the planner must pick RE.
+	if f.Plan != "re" {
+		t.Fatalf("plan = %q, want re", f.Plan)
+	}
+}
+
+func TestProfileFarmtestCorpus(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-profile", "-farmtest", "25", "-severity", "error"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "profile: plan:") {
+		t.Fatalf("no planner decisions in corpus sweep:\n%s", out)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"tangled/internal/asm"
+	"tangled/internal/backend"
 	"tangled/internal/cpu"
 	"tangled/internal/energy"
 	"tangled/internal/isa"
@@ -45,7 +46,7 @@ func main() {
 	mulLat := flag.Int("mul-latency", 1, "EX cycles for integer multiply")
 	nextLat := flag.Int("next-latency", 1, "EX cycles for Qat next/pop")
 	constRegs := flag.Bool("const-regs", false, "Section 5 constant-register Qat variant")
-	backend := flag.String("backend", "", "Qat register file: dense (default) or re (run-encoded, functional mode; allows -ways up to 24)")
+	backendName := flag.String("backend", "", "Qat register file: dense (default), re (run-encoded, functional mode; allows -ways up to 24), or auto (planner picks from the static profile)")
 	chunkWays := flag.Int("chunk-ways", 0, "re backend: symbol chunk width (default min(ways,16))")
 	spillRuns := flag.Int("spill-runs", 0, "re backend: dense-spill run budget (default 64, negative disables)")
 	stats := flag.Bool("stats", false, "print execution statistics")
@@ -101,8 +102,8 @@ func main() {
 	}
 
 	if *pipe {
-		if *backend != "" && *backend != qat.BackendDense {
-			fatal(fmt.Errorf("the pipelined model supports only the dense backend (got -backend %s)", *backend))
+		if *backendName != "" && *backendName != qat.BackendDense {
+			fatal(fmt.Errorf("the pipelined model supports only the dense backend (got -backend %s)", *backendName))
 		}
 		cfg := pipeline.Config{
 			Stages:              *stages,
@@ -150,13 +151,26 @@ func main() {
 		return
 	}
 
-	m, err := cpu.NewFromConfig(qat.Config{
+	qcfg := qat.Config{
 		Ways:         *ways,
 		ConstantRegs: *constRegs,
-		Backend:      *backend,
+		Backend:      *backendName,
 		ChunkWays:    *chunkWays,
 		SpillRuns:    *spillRuns,
-	})
+	}
+	if qcfg.Backend == backend.Auto {
+		if *chunkWays != 0 || *spillRuns != 0 {
+			fatal(fmt.Errorf("-chunk-ways/-spill-runs are chosen by the planner under -backend auto"))
+		}
+		plan, err := backend.PlanAuto(prog, qcfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		qcfg = plan.Config
+		fmt.Fprintf(os.Stderr, "tangled-run: auto backend: %s (degree bound %d, compressibility %.2f)\n",
+			qcfg.Backend, plan.Profile.DegreeBound, plan.Profile.Compressibility)
+	}
+	m, err := cpu.NewFromConfig(qcfg)
 	if err != nil {
 		fatal(err)
 	}

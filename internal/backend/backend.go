@@ -1,0 +1,117 @@
+// Package backend is the pluggable registry of Qat register-file backends
+// and the static auto-planner that picks one.
+//
+// Execution layers (the farm, the HTTP server, the CLIs) historically
+// switch-cased on backend names and re-derived each backend's geometry
+// defaults locally. This package centralizes that: a Driver bundles a
+// backend's name, width ceiling, canonicalization (defaults made explicit,
+// invalid geometry rejected) and construction, and drivers register
+// themselves by name at init time — the moby/graphdriver shape, so a new
+// register-file implementation lands by adding one file here and nothing in
+// the layers above.
+//
+// Canonical form matters beyond validation: the farm keys machine pools and
+// the memo store on the canonicalized Config, so every spelling of the same
+// geometry ("re at 12 ways", "re at 12 ways, chunk 12, spill 64") shares
+// pool and cache identity. Drivers define that form in exactly one place.
+//
+// The Auto pseudo-backend is resolved by the planner (planner.go) from the
+// static profile before any machine is built; it is not a Driver and never
+// reaches a pool or memo key.
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tangled/internal/qat"
+)
+
+// Auto is the pseudo-backend name the planner resolves into a concrete
+// registered backend from the program's static profile. It is accepted by
+// the layers above (farm jobs, HTTP requests, CLI flags), never by
+// Lookup/New.
+const Auto = "auto"
+
+// Driver is one register-file implementation.
+type Driver interface {
+	// Name is the registry key ("dense", "re").
+	Name() string
+	// MaxWays is the largest entanglement degree the backend executes.
+	MaxWays() int
+	// Canonicalize validates cfg and makes its defaults explicit, so equal
+	// geometries compare equal. It does not mutate reservations unrelated to
+	// the backend (Ways 0 still resolves to the hardware default).
+	Canonicalize(cfg qat.Config) (qat.Config, error)
+	// New builds a coprocessor for a canonicalized config.
+	New(cfg qat.Config) (*qat.Coprocessor, error)
+}
+
+var (
+	driversMu sync.RWMutex
+	drivers   = map[string]Driver{}
+)
+
+// Register adds a driver to the registry. It panics on an empty or
+// duplicate name, or on the reserved Auto name — registration happens at
+// init time and a collision is a programming error.
+func Register(d Driver) {
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	name := d.Name()
+	if name == "" || name == Auto {
+		panic(fmt.Sprintf("backend: cannot register driver with reserved name %q", name))
+	}
+	if _, dup := drivers[name]; dup {
+		panic(fmt.Sprintf("backend: driver %q registered twice", name))
+	}
+	drivers[name] = d
+}
+
+// Lookup resolves a backend name. The empty name is the dense default,
+// mirroring qat.Config's zero value.
+func Lookup(name string) (Driver, bool) {
+	if name == "" {
+		name = qat.BackendDense
+	}
+	driversMu.RLock()
+	defer driversMu.RUnlock()
+	d, ok := drivers[name]
+	return d, ok
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	driversMu.RLock()
+	defer driversMu.RUnlock()
+	out := make([]string, 0, len(drivers))
+	for n := range drivers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canonicalize resolves cfg.Backend in the registry and canonicalizes cfg
+// through its driver — the one-call form the execution layers use.
+func Canonicalize(cfg qat.Config) (qat.Config, error) {
+	d, ok := Lookup(cfg.Backend)
+	if !ok {
+		return cfg, fmt.Errorf("backend: unknown backend %q", cfg.Backend)
+	}
+	return d.Canonicalize(cfg)
+}
+
+// New canonicalizes cfg and builds its coprocessor.
+func New(cfg qat.Config) (*qat.Coprocessor, error) {
+	d, ok := Lookup(cfg.Backend)
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q", cfg.Backend)
+	}
+	c, err := d.Canonicalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return d.New(c)
+}

@@ -1,0 +1,191 @@
+package backend
+
+// Registry, canonicalization, and planner decision tests. The farm-level
+// differential proof that an auto plan executes byte-identically to its
+// explicit spelling lives in internal/farm (TestAutoPlannerDifferential).
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tangled/internal/aob"
+	"tangled/internal/asm"
+	"tangled/internal/qat"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{qat.BackendDense, qat.BackendRE}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names()=%v, want %v", got, want)
+	}
+	for _, n := range append([]string{""}, want...) {
+		if _, ok := Lookup(n); !ok {
+			t.Fatalf("Lookup(%q) failed", n)
+		}
+	}
+	if _, ok := Lookup(Auto); ok {
+		t.Fatal("Lookup(auto) resolved: the pseudo-backend must not be registered")
+	}
+	if _, ok := Lookup("fpga"); ok {
+		t.Fatal("Lookup of unknown name resolved")
+	}
+}
+
+func TestCanonicalizeDense(t *testing.T) {
+	c, err := Canonicalize(qat.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qat.Config{Ways: aob.MaxWays, Backend: qat.BackendDense}
+	if c != want {
+		t.Fatalf("canonical dense=%+v, want %+v", c, want)
+	}
+	// RE knobs on a dense config are erased, not rejected: pool/memo keys
+	// must not vary on them.
+	c, err = Canonicalize(qat.Config{Ways: 4, ChunkWays: 3, SpillRuns: 9, Backend: qat.BackendDense})
+	if err != nil || c.ChunkWays != 0 || c.SpillRuns != 0 {
+		t.Fatalf("dense knob erasure: %+v err=%v", c, err)
+	}
+	if _, err := Canonicalize(qat.Config{Ways: aob.MaxWays + 1, Backend: qat.BackendDense}); err == nil {
+		t.Fatal("dense over-width accepted")
+	}
+}
+
+func TestCanonicalizeRE(t *testing.T) {
+	c, err := Canonicalize(qat.Config{Ways: 20, Backend: qat.BackendRE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qat.Config{Ways: 20, Backend: qat.BackendRE, ChunkWays: aob.MaxWays, SpillRuns: -1}
+	if c != want {
+		t.Fatalf("canonical re=%+v, want %+v", c, want)
+	}
+	c, err = Canonicalize(qat.Config{Ways: 8, Backend: qat.BackendRE})
+	if err != nil || c.ChunkWays != 8 || c.SpillRuns != qat.DefaultSpillRuns {
+		t.Fatalf("re defaults: %+v err=%v", c, err)
+	}
+	if _, err := Canonicalize(qat.Config{Ways: qat.MaxREWays + 1, Backend: qat.BackendRE}); err == nil {
+		t.Fatal("re over-width accepted")
+	}
+	if _, err := Canonicalize(qat.Config{Ways: 8, ChunkWays: 9, Backend: qat.BackendRE}); err == nil {
+		t.Fatal("chunk ways above total accepted")
+	}
+}
+
+func TestCanonicalizeUnknown(t *testing.T) {
+	_, err := Canonicalize(qat.Config{Backend: "fpga"})
+	if err == nil || !strings.Contains(err.Error(), "fpga") {
+		t.Fatalf("unknown backend error=%v", err)
+	}
+}
+
+func mustProg(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// wideProg needs more entanglement than dense hardware holds when run at
+// ways > 16 (the had channel indexes stay within 4 bits; width forces RE).
+const wideProg = `
+	had	@1, 0
+	cnot	@2, @1
+	lex	$0, 0
+	sys
+`
+
+func TestPlanAutoForcedREOverDenseWidth(t *testing.T) {
+	plan, err := PlanAuto(mustProg(t, wideProg), qat.Config{Ways: 20, Backend: Auto}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.Backend != qat.BackendRE {
+		t.Fatalf("backend=%q, want re (ways 20 exceeds dense)", plan.Config.Backend)
+	}
+	if plan.Config.Ways != 20 {
+		t.Fatalf("planner changed ways: %d", plan.Config.Ways)
+	}
+	if plan.Config.ChunkWays != aob.MaxWays || plan.Config.SpillRuns != -1 {
+		t.Fatalf("planned geometry %+v not the canonical RE default", plan.Config)
+	}
+	if plan.Profile == nil || plan.Profile.Ways != 20 {
+		t.Fatalf("plan profile missing or at wrong width: %+v", plan.Profile)
+	}
+}
+
+func TestPlanAutoDenseForSmallPrograms(t *testing.T) {
+	plan, err := PlanAuto(mustProg(t, wideProg), qat.Config{Ways: 6, Backend: Auto}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.Backend != qat.BackendDense {
+		t.Fatalf("backend=%q, want dense for a small low-degree program", plan.Config.Backend)
+	}
+}
+
+func TestPlanAutoCompressibilityRoute(t *testing.T) {
+	// >= 16 Qat writes, all structured (inits and folds over known states):
+	// compressibility 1.0 routes to RE even at a dense-servable width.
+	var b strings.Builder
+	for i := 1; i <= 17; i++ {
+		b.WriteString("\tzero\t@")
+		b.WriteString(string(rune('0' + i%10)))
+		b.WriteString("\n")
+	}
+	b.WriteString("\tlex\t$0, 0\n\tsys\n")
+	plan, err := PlanAuto(mustProg(t, b.String()), qat.Config{Ways: 8, Backend: Auto}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Profile.Compressibility < CompressibilityFloor || plan.Profile.QatWrites < MinWritesForRE {
+		t.Fatalf("test program does not trip the route: %+v", plan.Profile)
+	}
+	if plan.Config.Backend != qat.BackendRE {
+		t.Fatalf("backend=%q, want re on compressibility", plan.Config.Backend)
+	}
+}
+
+func TestPlanAutoUnservable(t *testing.T) {
+	_, err := PlanAuto(mustProg(t, wideProg), qat.Config{Ways: qat.MaxREWays + 1, Backend: Auto}, nil)
+	var ue *UnservableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err=%v, want UnservableError", err)
+	}
+	if ue.Ways != qat.MaxREWays+1 || ue.Profile == nil {
+		t.Fatalf("unservable detail: %+v", ue)
+	}
+}
+
+func TestPlanAutoMemoProbeWins(t *testing.T) {
+	// A memoized RE result overrides the static dense preference.
+	var probed []string
+	probe := func(c qat.Config) bool {
+		probed = append(probed, c.Backend)
+		return c.Backend == qat.BackendRE
+	}
+	plan, err := PlanAuto(mustProg(t, wideProg), qat.Config{Ways: 6, Backend: Auto}, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.Backend != qat.BackendRE {
+		t.Fatalf("backend=%q, want re (memoized)", plan.Config.Backend)
+	}
+	if !reflect.DeepEqual(probed, []string{qat.BackendDense, qat.BackendRE}) {
+		t.Fatalf("probe order %v, want dense then re", probed)
+	}
+}
+
+func TestDecidePassThroughNonAuto(t *testing.T) {
+	plan, err := Decide(nil, qat.Config{Ways: 12, Backend: qat.BackendRE}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.Backend != qat.BackendRE || plan.Config.ChunkWays != 12 {
+		t.Fatalf("pass-through=%+v", plan.Config)
+	}
+}

@@ -1,0 +1,38 @@
+package backend
+
+// The dense driver: the paper's AoB register file, entanglement capped at
+// the 16-way hardware wall.
+
+import (
+	"fmt"
+
+	"tangled/internal/aob"
+	"tangled/internal/qat"
+)
+
+func init() { Register(denseDriver{}) }
+
+type denseDriver struct{}
+
+func (denseDriver) Name() string { return qat.BackendDense }
+
+func (denseDriver) MaxWays() int { return aob.MaxWays }
+
+// Canonicalize names the backend explicitly, resolves the hardware-default
+// width, and zeroes the RE tuning knobs — a dense pool/memo key never
+// varies on them.
+func (denseDriver) Canonicalize(cfg qat.Config) (qat.Config, error) {
+	cfg.Backend = qat.BackendDense
+	if cfg.Ways == 0 {
+		cfg.Ways = aob.MaxWays
+	}
+	cfg.ChunkWays, cfg.SpillRuns = 0, 0
+	if cfg.Ways < 0 || cfg.Ways > aob.MaxWays {
+		return cfg, fmt.Errorf("backend: dense ways %d out of range [0,%d]", cfg.Ways, aob.MaxWays)
+	}
+	return cfg, nil
+}
+
+func (denseDriver) New(cfg qat.Config) (*qat.Coprocessor, error) {
+	return qat.NewFromConfig(cfg)
+}

@@ -1,0 +1,127 @@
+package backend
+
+// The auto-planner: resolves the Auto pseudo-backend into a registered
+// driver from the program's static profile (internal/profile), before any
+// machine is built or pool touched.
+//
+// Decision order, first match wins:
+//
+//  1. requested width > every backend's ceiling      -> UnservableError
+//     (the caller attaches the profile to its error surface: the HTTP
+//     layer returns it as a 422 with the profile in the body)
+//  2. a memoized result exists (dense, then planned RE) -> that backend
+//     (replaying bytes from the memo beats any static prediction)
+//  3. width > dense hardware (aob.MaxWays)           -> RE, forced
+//  4. highly compressible (>= 0.9) AND enough writes
+//     to matter (>= 16)                              -> RE
+//  5. otherwise                                      -> dense
+//
+// The planner never changes the requested width — it only picks the file
+// the width runs on. The RE plan uses the driver's default geometry
+// (ChunkWays 0, SpillRuns 0 canonicalize to min(ways, 16) and
+// qat.DefaultSpillRuns), so an auto-planned RE run shares pool and memo
+// identity with an explicitly requested default RE run.
+
+import (
+	"fmt"
+
+	"tangled/internal/aob"
+	"tangled/internal/asm"
+	"tangled/internal/lint"
+	"tangled/internal/profile"
+	"tangled/internal/qat"
+)
+
+// CompressibilityFloor is the static compressibility at or above which the
+// planner prefers the RE backend even when dense could serve the width.
+const CompressibilityFloor = 0.9
+
+// MinWritesForRE is the Qat write count below which a program is too small
+// for the compressibility signal to outweigh dense's lower fixed cost.
+const MinWritesForRE = 16
+
+// UnservableError reports a width no registered backend can execute. The
+// profile documents why, for error surfaces that attach it (HTTP 422).
+type UnservableError struct {
+	Ways    int
+	Profile *lint.Profile
+}
+
+func (e *UnservableError) Error() string {
+	return fmt.Sprintf("backend: ways %d exceeds every backend (max %d)", e.Ways, qat.MaxREWays)
+}
+
+// Plan is a resolved auto decision: the chosen canonical config and the
+// profile that drove it.
+type Plan struct {
+	Config  qat.Config
+	Profile *lint.Profile
+}
+
+// Decide resolves Auto for a program already profiled at the requested
+// width. probe, when non-nil, reports whether a memoized result exists for
+// a canonical config; it is consulted before the static rules. cfg.Backend
+// must be Auto (or empty/dense/re, which pass through canonicalization
+// untouched — callers can funnel every job through Decide).
+func Decide(p *lint.Profile, cfg qat.Config, probe func(qat.Config) bool) (Plan, error) {
+	if cfg.Backend != Auto {
+		c, err := Canonicalize(cfg)
+		return Plan{Config: c, Profile: p}, err
+	}
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = aob.MaxWays
+	}
+	if ways < 0 || ways > qat.MaxREWays {
+		return Plan{}, &UnservableError{Ways: ways, Profile: p}
+	}
+
+	dense := cfg
+	dense.Backend = qat.BackendDense
+	dense.ChunkWays, dense.SpillRuns = 0, 0
+	re := cfg
+	re.Backend = qat.BackendRE
+	re.ChunkWays, re.SpillRuns = 0, 0
+
+	if probe != nil && ways <= aob.MaxWays {
+		if c, err := Canonicalize(dense); err == nil && probe(c) {
+			return Plan{Config: c, Profile: p}, nil
+		}
+	}
+	if probe != nil {
+		if c, err := Canonicalize(re); err == nil && probe(c) {
+			return Plan{Config: c, Profile: p}, nil
+		}
+	}
+
+	pick := dense
+	switch {
+	case ways > aob.MaxWays:
+		pick = re // dense hardware cannot hold the width
+	case p != nil && p.Compressibility >= CompressibilityFloor && p.QatWrites >= MinWritesForRE:
+		pick = re // structured enough for run-length compression to win
+	}
+	c, err := Canonicalize(pick)
+	return Plan{Config: c, Profile: p}, err
+}
+
+// PlanAuto profiles prog at cfg's width and resolves Auto via Decide. The
+// lint analysis runs in facts-only mode: diagnostics are not gated here —
+// admission checks belong to the caller's lint policy, the planner only
+// reads the profile.
+func PlanAuto(prog *asm.Program, cfg qat.Config, probe func(qat.Config) bool) (Plan, error) {
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = aob.MaxWays
+	}
+	var p *lint.Profile
+	if prog != nil && cfg.Backend == Auto {
+		lintWays := ways
+		if lintWays > aob.MaxWays {
+			lintWays = aob.MaxWays // lint's cost model is dense-clamped
+		}
+		_, f := lint.AnalyzeWithFacts(prog, lint.Options{Ways: lintWays})
+		p = profile.Compute(f, profile.Options{Ways: ways, ConstantRegs: cfg.ConstantRegs})
+	}
+	return Decide(p, cfg, probe)
+}

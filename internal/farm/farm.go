@@ -33,9 +33,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"tangled/internal/aob"
 	"tangled/internal/asm"
+	"tangled/internal/backend"
 	"tangled/internal/cpu"
+	"tangled/internal/lint"
 	"tangled/internal/memo"
 	"tangled/internal/obs"
 	"tangled/internal/pipeline"
@@ -85,7 +86,9 @@ type Job struct {
 	ConstantRegs bool
 	// Backend selects the Qat register file for Functional jobs: "" or
 	// qat.BackendDense for the AoB file, qat.BackendRE for the compressed
-	// one (docs/BACKENDS.md). Pipelined jobs reject a non-dense backend.
+	// one (docs/BACKENDS.md), or backend.Auto to let the static planner
+	// pick from the program's profile (Result.Backend reports the choice).
+	// Pipelined jobs reject a non-dense backend; auto resolves to dense.
 	Backend string
 	// REChunkWays is the RE backend's symbol size; 0 means the default
 	// (min(Ways, aob.MaxWays)). Ignored by the dense backend.
@@ -159,6 +162,14 @@ type Result struct {
 	// from an identical in-flight execution) instead of being executed by
 	// this job.
 	Cached bool
+
+	// Backend is the canonical register-file backend that served a
+	// Functional job ("dense"/"re"), after any auto-planning; empty for
+	// Pipelined jobs and for jobs whose configuration failed validation.
+	Backend string
+	// Profile is the static profile the auto-planner derived when the job
+	// requested backend.Auto; nil otherwise.
+	Profile *lint.Profile
 }
 
 // Engine is a reusable batch executor with a bounded worker pool and pooled
@@ -328,6 +339,17 @@ func (e *Engine) runJob(ctx context.Context, i int, j *Job, bc *batchCounters, o
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
+	prof, err := e.resolveAuto(j, prog, maxSteps, o)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Profile = prof
+	if j.Mode != Pipelined {
+		if cfg, cerr := j.qatConfig(); cerr == nil {
+			res.Backend = cfg.Backend
+		}
+	}
 	exec := func() {
 		if j.Mode == Pipelined {
 			e.runPipelined(ctx, j, prog, maxSteps, &res, bc, o)
@@ -436,45 +458,16 @@ func (e *Engine) runFunctional(ctx context.Context, j *Job, prog *asm.Program, m
 }
 
 // qatConfig resolves a Functional job's machine configuration into canonical
-// form — defaults made explicit — so equivalent spellings share pool and
-// memo identity, and validates it with farm-level errors.
+// form through the backend registry — defaults made explicit, invalid
+// geometry rejected — so equivalent spellings share pool and memo identity.
+// The Auto pseudo-backend must already be resolved (resolveAuto); seeing it
+// here is a sequencing bug, reported rather than guessed around.
 func (j *Job) qatConfig() (qat.Config, error) {
-	cfg := qat.Config{Ways: j.Ways, ConstantRegs: j.ConstantRegs, Backend: j.Backend,
-		ChunkWays: j.REChunkWays, SpillRuns: j.RESpillRuns}
-	if cfg.Ways == 0 {
-		cfg.Ways = aob.MaxWays
+	if j.Backend == backend.Auto {
+		return qat.Config{}, fmt.Errorf("farm: backend %q not resolved before execution", backend.Auto)
 	}
-	switch cfg.Backend {
-	case "", qat.BackendDense:
-		cfg.Backend = qat.BackendDense
-		cfg.ChunkWays, cfg.SpillRuns = 0, 0
-		if cfg.Ways < 0 || cfg.Ways > aob.MaxWays {
-			return cfg, fmt.Errorf("farm: ways %d out of range [0,%d]", cfg.Ways, aob.MaxWays)
-		}
-	case qat.BackendRE:
-		if cfg.Ways < 0 || cfg.Ways > qat.MaxREWays {
-			return cfg, fmt.Errorf("farm: re ways %d out of range [0,%d]", cfg.Ways, qat.MaxREWays)
-		}
-		if cfg.ChunkWays == 0 {
-			cfg.ChunkWays = cfg.Ways
-			if cfg.ChunkWays > aob.MaxWays {
-				cfg.ChunkWays = aob.MaxWays
-			}
-		}
-		if cfg.ChunkWays < 0 || cfg.ChunkWays > aob.MaxWays || cfg.ChunkWays > cfg.Ways {
-			return cfg, fmt.Errorf("farm: re chunk ways %d out of range [0,min(%d,ways)]",
-				j.REChunkWays, aob.MaxWays)
-		}
-		if cfg.SpillRuns == 0 {
-			cfg.SpillRuns = qat.DefaultSpillRuns
-		}
-		if cfg.Ways > aob.MaxWays || cfg.SpillRuns < 0 {
-			cfg.SpillRuns = -1 // no dense form exists to spill into
-		}
-	default:
-		return cfg, fmt.Errorf("farm: unknown backend %q", j.Backend)
-	}
-	return cfg, nil
+	return backend.Canonicalize(qat.Config{Ways: j.Ways, ConstantRegs: j.ConstantRegs,
+		Backend: j.Backend, ChunkWays: j.REChunkWays, SpillRuns: j.RESpillRuns})
 }
 
 func (e *Engine) runPipelined(ctx context.Context, j *Job, prog *asm.Program, maxCycles uint64, res *Result, bc *batchCounters, o *Obs) {

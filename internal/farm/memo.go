@@ -101,6 +101,9 @@ func (e *Engine) MemoKey(j *Job) (memo.Key, bool) {
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
+	if _, err := e.resolveAuto(j, j.Prog, maxSteps, e.currentObs()); err != nil {
+		return memo.Key{}, false
+	}
 	return jobKey(j, j.Prog, maxSteps), true
 }
 
@@ -131,11 +134,19 @@ func (e *Engine) MemoProbe(j *Job) (Result, bool) {
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
+	// An auto job must resolve to a concrete backend before keying: a key
+	// over the unresolved pseudo-name would alias the dense spelling. The
+	// resolution is sticky (written back into j) so a subsequent real run
+	// executes exactly the identity probed here. Planner failures
+	// (unservable width) report as a miss and surface on the run path.
+	if _, err := e.resolveAuto(j, j.Prog, maxSteps, e.currentObs()); err != nil {
+		return Result{}, false
+	}
 	ent, ok := c.Get(jobKey(j, j.Prog, maxSteps))
 	if !ok {
 		return Result{}, false
 	}
-	return Result{
+	res := Result{
 		Name:   j.Name,
 		Regs:   ent.Regs,
 		Output: ent.Output,
@@ -143,5 +154,11 @@ func (e *Engine) MemoProbe(j *Job) (Result, bool) {
 		Pipe:   ent.Pipe,
 		Err:    ent.Err,
 		Cached: true,
-	}, true
+	}
+	if j.Mode != Pipelined {
+		if cfg, err := j.qatConfig(); err == nil {
+			res.Backend = cfg.Backend
+		}
+	}
+	return res, true
 }

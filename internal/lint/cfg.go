@@ -138,6 +138,20 @@ func (g *cfg) markedData(addr uint16) bool {
 	return len(g.p.Data) == len(g.p.Words) && g.p.Data[addr]
 }
 
+// dataSymbol reports that label address a points into a data region by any
+// evidence the image carries: the sweep's own classification (marked data,
+// undecodable words), or a data mark in a partial-length Data slice. The
+// sweep only trusts full-length marks for stream breaking (markedData), so
+// in a partial-marks image a data word that happens to decode still enters
+// g.insts — such an address must never become a reachability root, or the
+// imprecise-mode widening decodes garbage blocks and poisons liveness.
+func (g *cfg) dataSymbol(a uint16) bool {
+	if g.data[a] {
+		return true
+	}
+	return int(a) < len(g.p.Data) && g.p.Data[a]
+}
+
 // lineOf maps a word address to its 1-based source line (0 when unknown).
 func (g *cfg) lineOf(addr uint16) int {
 	if int(addr) < len(g.p.Source) {
@@ -367,7 +381,10 @@ func (g *cfg) computeReach() {
 		// and redo the sweep once.
 		if pass == 0 {
 			for _, a := range g.p.Symbols {
-				if _, ok := g.insts[a]; ok {
+				// Only labels on decoded instructions outside data regions
+				// qualify: a label into a data-marked word (a jump table,
+				// say) is not an entry point even when the word decodes.
+				if _, ok := g.insts[a]; ok && !g.dataSymbol(a) {
 					roots = append(roots, a)
 				}
 			}

@@ -147,6 +147,9 @@ type Facts struct {
 	HaltAt map[uint16]bool
 	// JumprTargets maps resolved jumpr addresses to their targets.
 	JumprTargets map[uint16]uint16
+	// Profile is the static entanglement/cost profile, attached by
+	// profile.Compute — nil until a profiler pass has run over these facts.
+	Profile *Profile
 }
 
 // AnalyzeWithFacts lints p like Analyze and additionally returns the Facts

@@ -344,3 +344,52 @@ func TestSeverityRoundTrip(t *testing.T) {
 		t.Errorf("UnmarshalJSON = %v, %v", s, err)
 	}
 }
+
+func TestImpreciseLabelIntoPartialDataNotRoot(t *testing.T) {
+	// Regression: under imprecise mode the analyzer widens reachability to
+	// every labeled instruction. A label pointing into a data region (a jump
+	// table, say) must not qualify even when (a) the data word happens to
+	// decode as an instruction and (b) the image carries only a
+	// partial-length Data slice, which the stream sweep cannot use for
+	// code/data breaking. Previously such a label became a CFG root and the
+	// decoded garbage poisoned reachability and liveness.
+	p := mustAssemble(t, `
+	lex $1, 2
+	lex $2, 4
+	add $1, $2
+	jumpr $1
+end:	lex $0, 0
+	sys
+tbl:	.word 4096
+`)
+	tbl, ok := p.Symbols["tbl"]
+	if !ok {
+		t.Fatal("no tbl symbol")
+	}
+	if !p.Data[tbl] {
+		t.Fatalf("word %#04x not data-marked", tbl)
+	}
+	// Truncate the marks to a partial-length slice (still covering tbl) by
+	// appending an unmarked word, so markedData cannot break the stream and
+	// the data word — which decodes as an instruction — enters the sweep.
+	p.Words = append(p.Words, p.Words[0])
+	_, f := lint.AnalyzeWithFacts(p, lint.Options{})
+	if !f.Imprecise {
+		t.Fatal("analysis not imprecise — fixture no longer exercises widening")
+	}
+	i, ok := f.ByAddr[tbl]
+	if !ok {
+		t.Fatalf("data word at %#04x did not decode; fixture needs a decodable word", tbl)
+	}
+	if f.Insts[i].Reachable || f.Insts[i].Block != -1 {
+		t.Errorf("labeled data word at %#04x became a reachability root (reachable=%v block=%d)",
+			tbl, f.Insts[i].Reachable, f.Insts[i].Block)
+	}
+	for _, b := range f.Blocks {
+		for _, ii := range b.Insts {
+			if f.Insts[ii].Addr == tbl {
+				t.Errorf("block %d contains the data word at %#04x", b.ID, tbl)
+			}
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package opt
+package opt_test
 
 // The differential proof of the optimizer: every program in the shared
 // 200-program corpus (internal/farm/farmtest) is optimized and then executed
@@ -18,6 +18,7 @@ import (
 	"tangled/internal/asm"
 	"tangled/internal/farm"
 	"tangled/internal/farm/farmtest"
+	"tangled/internal/opt"
 	"tangled/internal/pipeline"
 	"tangled/internal/qat"
 )
@@ -47,7 +48,7 @@ func TestDifferentialCorpus(t *testing.T) {
 		if err != nil {
 			t.Fatalf("program %d does not assemble: %v", i, err)
 		}
-		optProg, rep := Optimize(prog, Options{Ways: farmtest.Ways})
+		optProg, rep := opt.Optimize(prog, opt.Options{Ways: farmtest.Ways})
 		if !rep.Applied {
 			refused++
 			reasons[rep.Reason]++
@@ -104,11 +105,11 @@ func TestCorpusIdempotence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("program %d: %v", i, err)
 		}
-		q1, rep1 := Optimize(prog, Options{Ways: farmtest.Ways})
+		q1, rep1 := opt.Optimize(prog, opt.Options{Ways: farmtest.Ways})
 		if !rep1.Applied {
 			continue
 		}
-		q2, rep2 := Optimize(q1, Options{Ways: farmtest.Ways})
+		q2, rep2 := opt.Optimize(q1, opt.Options{Ways: farmtest.Ways})
 		if !rep2.Applied {
 			t.Fatalf("program %d: re-optimization refused: %s", i, rep2.Reason)
 		}

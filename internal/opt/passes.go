@@ -327,96 +327,9 @@ func (r *ir) cancelCPUInv(rest []int, ii int, op isa.Op, reg uint8) bool {
 	return false
 }
 
-// Abstract Qat register states for the energy pass. Zero/One are the
-// constant fills, Had(k)/NHad(k) the Hadamard pattern on channel bit k and
-// its complement — exactly the values the init instructions can produce, so
-// redundant re-initialization and constant-foldable gates are provable.
-type qstate struct {
-	kind uint8 // qUnknown, qZero, qOne, qHad, qNHad
-	k    uint8
-}
-
-const (
-	qUnknown = iota
-	qZero
-	qOne
-	qHad
-	qNHad
-)
-
-func (s qstate) isConst() bool { return s.kind == qZero || s.kind == qOne }
-
-func qInvert(s qstate) qstate {
-	switch s.kind {
-	case qZero:
-		return qstate{kind: qOne}
-	case qOne:
-		return qstate{kind: qZero}
-	case qHad:
-		return qstate{kind: qNHad, k: s.k}
-	case qNHad:
-		return qstate{kind: qHad, k: s.k}
-	}
-	return qstate{}
-}
-
-// qAnd/qOr/qXor fold two known channel functions; unknown operands yield
-// unknown results except where one operand forces the output.
-func qAnd(a, b qstate) qstate {
-	switch {
-	case a.kind == qZero || b.kind == qZero:
-		return qstate{kind: qZero}
-	case a.kind == qOne:
-		return b
-	case b.kind == qOne:
-		return a
-	case a.kind == qUnknown || b.kind == qUnknown:
-		return qstate{}
-	case a == b:
-		return a
-	case a.k == b.k: // Had(k) & NHad(k)
-		return qstate{kind: qZero}
-	}
-	return qstate{}
-}
-
-func qOr(a, b qstate) qstate {
-	switch {
-	case a.kind == qOne || b.kind == qOne:
-		return qstate{kind: qOne}
-	case a.kind == qZero:
-		return b
-	case b.kind == qZero:
-		return a
-	case a.kind == qUnknown || b.kind == qUnknown:
-		return qstate{}
-	case a == b:
-		return a
-	case a.k == b.k: // Had(k) | NHad(k)
-		return qstate{kind: qOne}
-	}
-	return qstate{}
-}
-
-func qXor(a, b qstate) qstate {
-	switch {
-	case a.kind == qUnknown || b.kind == qUnknown:
-		return qstate{}
-	case a.kind == qZero:
-		return b
-	case b.kind == qZero:
-		return a
-	case a.kind == qOne:
-		return qInvert(b)
-	case b.kind == qOne:
-		return qInvert(a)
-	case a == b:
-		return qstate{kind: qZero}
-	case a.k == b.k: // Had(k) ^ NHad(k)
-		return qstate{kind: qOne}
-	}
-	return qstate{}
-}
+// The abstract Qat register states for the energy pass live in qlattice.go
+// (QState and the QInvert/QAnd/QOr/QXor transfer functions), shared with the
+// static profiler.
 
 // passEnergy walks each block with the abstract Qat lattice: initializations
 // that re-create the current state vanish, constant writes over the inverse
@@ -426,14 +339,14 @@ func qXor(a, b qstate) qstate {
 // switched/erased-bit bound.
 func (r *ir) passEnergy() (removed, rewritten int) {
 	seed := r.entrySeedBlock()
-	var st [isa.NumQRegs]qstate
+	var st [isa.NumQRegs]QState
 	for bi := range r.facts.Blocks {
 		for q := range st {
-			st[q] = qstate{}
+			st[q] = QState{}
 		}
 		if bi == seed {
 			for q := range st {
-				st[q] = qstate{kind: qZero}
+				st[q] = QState{Kind: QZero}
 			}
 		}
 		for _, ii := range r.facts.Blocks[bi].Insts {
@@ -445,12 +358,12 @@ func (r *ir) passEnergy() (removed, rewritten int) {
 			a, b, c := in.QA, in.QB, in.QC
 			// constInit handles zero/one/had uniformly: drop when the state
 			// is already want; flip reversibly when it is the exact inverse.
-			constInit := func(want qstate) {
+			constInit := func(want QState) {
 				switch {
 				case st[a] == want:
 					r.remove(ii)
 					removed++
-				case st[a] == qInvert(want):
+				case st[a] == QInvert(want):
 					r.rewrite(ii, isa.Inst{Op: isa.OpQNot, QA: a})
 					rewritten++
 					st[a] = want
@@ -460,12 +373,12 @@ func (r *ir) passEnergy() (removed, rewritten int) {
 			}
 			// foldGate replaces a two-word gate whose folded result is a
 			// known constant with the one-word fill, else records the state.
-			foldGate := func(res qstate) {
-				switch res.kind {
-				case qZero:
+			foldGate := func(res QState) {
+				switch res.Kind {
+				case QZero:
 					r.rewrite(ii, isa.Inst{Op: isa.OpQZero, QA: a})
 					rewritten++
-				case qOne:
+				case QOne:
 					r.rewrite(ii, isa.Inst{Op: isa.OpQOne, QA: a})
 					rewritten++
 				}
@@ -473,54 +386,54 @@ func (r *ir) passEnergy() (removed, rewritten int) {
 			}
 			switch in.Op {
 			case isa.OpQZero:
-				constInit(qstate{kind: qZero})
+				constInit(QState{Kind: QZero})
 			case isa.OpQOne:
-				constInit(qstate{kind: qOne})
+				constInit(QState{Kind: QOne})
 			case isa.OpQHad:
-				constInit(qstate{kind: qHad, k: in.K})
+				constInit(QState{Kind: QHad, K: in.K})
 			case isa.OpQNot:
-				st[a] = qInvert(st[a])
+				st[a] = QInvert(st[a])
 			case isa.OpQAnd:
-				foldGate(qAnd(st[b], st[c]))
+				foldGate(QAnd(st[b], st[c]))
 			case isa.OpQOr:
-				foldGate(qOr(st[b], st[c]))
+				foldGate(QOr(st[b], st[c]))
 			case isa.OpQXor:
-				foldGate(qXor(st[b], st[c]))
+				foldGate(QXor(st[b], st[c]))
 			case isa.OpQCnot:
-				switch st[b].kind {
-				case qZero:
+				switch st[b].Kind {
+				case QZero:
 					r.remove(ii) // a ^= 0
 					removed++
-				case qOne:
+				case QOne:
 					r.rewrite(ii, isa.Inst{Op: isa.OpQNot, QA: a})
 					rewritten++
-					st[a] = qInvert(st[a])
+					st[a] = QInvert(st[a])
 				default:
-					st[a] = qXor(st[a], st[b])
+					st[a] = QXor(st[a], st[b])
 				}
 			case isa.OpQCcnot:
-				t := qAnd(st[b], st[c])
+				t := QAnd(st[b], st[c])
 				switch {
-				case t.kind == qZero:
+				case t.Kind == QZero:
 					r.remove(ii) // a ^= 0
 					removed++
-				case t.kind == qOne:
+				case t.Kind == QOne:
 					r.rewrite(ii, isa.Inst{Op: isa.OpQNot, QA: a})
 					rewritten++
-					st[a] = qInvert(st[a])
-				case st[b].kind == qOne:
+					st[a] = QInvert(st[a])
+				case st[b].Kind == QOne:
 					r.rewrite(ii, isa.Inst{Op: isa.OpQCnot, QA: a, QB: c})
 					rewritten++
-					st[a] = qXor(st[a], st[c])
-				case st[c].kind == qOne:
+					st[a] = QXor(st[a], st[c])
+				case st[c].Kind == QOne:
 					r.rewrite(ii, isa.Inst{Op: isa.OpQCnot, QA: a, QB: b})
 					rewritten++
-					st[a] = qXor(st[a], st[b])
+					st[a] = QXor(st[a], st[b])
 				default:
-					st[a] = qXor(st[a], t)
+					st[a] = QXor(st[a], t)
 				}
 			case isa.OpQSwap:
-				if a != b && st[a] == st[b] && st[a].kind != qUnknown {
+				if a != b && st[a] == st[b] && st[a].Kind != QUnknown {
 					r.remove(ii) // swapping equal values
 					removed++
 					break
@@ -530,18 +443,18 @@ func (r *ir) passEnergy() (removed, rewritten int) {
 				switch {
 				case a == b:
 					// structural no-op; the peephole removes it
-				case st[c].kind == qZero:
+				case st[c].Kind == QZero:
 					r.remove(ii) // control never set
 					removed++
-				case st[a] == st[b] && st[a].kind != qUnknown:
+				case st[a] == st[b] && st[a].Kind != QUnknown:
 					r.remove(ii) // swapping equal values, any control
 					removed++
-				case st[c].kind == qOne:
+				case st[c].Kind == QOne:
 					r.rewrite(ii, isa.Inst{Op: isa.OpQSwap, QA: a, QB: b})
 					rewritten++
 					st[a], st[b] = st[b], st[a]
 				default:
-					st[a], st[b] = qstate{}, qstate{}
+					st[a], st[b] = QState{}, QState{}
 				}
 			}
 		}

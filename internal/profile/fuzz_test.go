@@ -1,0 +1,61 @@
+package profile_test
+
+// FuzzProfile feeds arbitrary word images through the static profiler: it
+// must never panic, must be deterministic (identical JSON across two
+// computations over the same facts), and must stay sound — the dynamic
+// entanglement degree a real dense execution reaches can never exceed the
+// static bound, not even on garbage programs that fault mid-run.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/lint"
+	"tangled/internal/oracle"
+	"tangled/internal/profile"
+)
+
+func FuzzProfile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x10})                         // lex $0, 16
+	f.Add([]byte{0x01, 0x50, 0x02, 0x51, 0x12, 0xE0}) // had-ish then sys-ish
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // all ones
+	f.Add([]byte{0x01, 0x80, 0x03, 0x02})             // two-word qat form
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const ways = 6
+		if len(raw) > 1<<12 {
+			raw = raw[:1<<12]
+		}
+		words := make([]uint16, len(raw)/2)
+		for i := range words {
+			words[i] = uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
+		}
+		p := &asm.Program{Words: words}
+		_, f1 := lint.AnalyzeWithFacts(p, lint.Options{Ways: ways})
+		_, f2 := lint.AnalyzeWithFacts(p, lint.Options{Ways: ways})
+		p1 := profile.Compute(f1, profile.Options{Ways: ways})
+		p2 := profile.Compute(f2, profile.Options{Ways: ways})
+		b1, err1 := json.Marshal(p1)
+		b2, err2 := json.Marshal(p2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal: %v / %v", err1, err2)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("nondeterministic profile:\n%s\n%s", b1, b2)
+		}
+		if p1.DegreeBound > ways || p1.DegreeBound < 0 {
+			t.Fatalf("DegreeBound %d out of [0,%d]", p1.DegreeBound, ways)
+		}
+
+		// Soundness against a real run, bounded tightly: garbage programs
+		// mostly fault or spin, and partial observations must be bounded too.
+		dyn, _ := oracle.MaxEntanglementDegree(p, ways, 4096)
+		for q, d := range dyn {
+			if got := p1.MaxReg(q); d > got {
+				t.Fatalf("register @%d dynamic degree %d exceeds static bound %d\nwords=%v",
+					q, d, got, words)
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package profile
+
+// The differential soundness suite: the static degree bound must dominate
+// the dynamically observed entanglement degree on every program of the
+// shared random corpus, per register and globally. This is the profiler's
+// acceptance gate — an unsound bound would let the auto-planner route a
+// high-degree program onto a representation that cannot hold it.
+
+import (
+	"testing"
+
+	"tangled/internal/asm"
+	"tangled/internal/farm/farmtest"
+	"tangled/internal/lint"
+	"tangled/internal/oracle"
+)
+
+func TestDifferentialDegreeSoundness(t *testing.T) {
+	for i := 0; i < farmtest.Programs; i++ {
+		src := farmtest.Generate(farmtest.Seed(i))
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("program %d does not assemble: %v", i, err)
+		}
+		_, f := lint.AnalyzeWithFacts(prog, lint.Options{Ways: farmtest.Ways})
+		p := Compute(f, Options{Ways: farmtest.Ways})
+
+		dyn, _ := oracle.MaxEntanglementDegree(prog, farmtest.Ways, farmtest.Budget)
+		dynMax := 0
+		for q, d := range dyn {
+			if d > dynMax {
+				dynMax = d
+			}
+			if got := p.MaxReg(q); d > got {
+				t.Fatalf("program %d: register @%d dynamic degree %d exceeds static bound %d\n%s",
+					i, q, d, got, src)
+			}
+		}
+		if dynMax > p.DegreeBound {
+			t.Fatalf("program %d: dynamic max %d exceeds DegreeBound %d\n%s",
+				i, dynMax, p.DegreeBound, src)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tangled/internal/aob"
+	"tangled/internal/backend"
 	"tangled/internal/farm"
 	"tangled/internal/lint"
 	"tangled/internal/opt"
@@ -52,11 +53,14 @@ type RunRequest struct {
 	// Backend selects the Qat register-file representation for functional
 	// runs: "" or "dense" is the paper's bit-parallel file, "re" the
 	// run-encoded compressed file, which also unlocks Ways beyond the
-	// dense wall (up to qat.MaxREWays). Pipelined runs are dense-only.
+	// dense wall (up to qat.MaxREWays), and "auto" lets the server's
+	// static planner pick from the program's profile (the choice comes
+	// back in RunResult.Backend). Pipelined runs are dense-only.
 	Backend string `json:"backend,omitempty"`
 	// ChunkWays and SpillRuns tune the "re" backend (0 means the backend
 	// defaults; negative SpillRuns disables spilling). Rejected for dense
-	// runs so every accepted request has one canonical spelling.
+	// and "auto" runs so every accepted request has one canonical
+	// spelling (the planner owns the geometry it plans).
 	ChunkWays int `json:"chunk_ways,omitempty"`
 	SpillRuns int `json:"spill_runs,omitempty"`
 	// Stages picks the pipeline organization for pipelined runs (4 or 5;
@@ -118,6 +122,11 @@ type RunResult struct {
 	// content-addressed execution cache instead of being executed for this
 	// request. (Additive field; the schema version is unchanged.)
 	Cached bool `json:"cached,omitempty"`
+
+	// Backend is the canonical register file that served a functional run
+	// ("dense"/"re"), reporting in particular what a "auto" request
+	// resolved to. (Additive field; the schema version is unchanged.)
+	Backend string `json:"backend,omitempty"`
 }
 
 // JobRequest is the body of POST /v1/jobs: one program submission plus the
@@ -185,6 +194,10 @@ type ErrorResponse struct {
 	// Lint carries the static-analysis findings when a strict-mode server
 	// refused the program (HTTP 422) before admission.
 	Lint []lint.Diagnostic `json:"lint,omitempty"`
+	// Profile carries the static entanglement/cost profile when the auto
+	// planner refused the program as unservable (HTTP 422: the requested
+	// width exceeds every backend), documenting why.
+	Profile *lint.Profile `json:"profile,omitempty"`
 	// RetryAfterMs hints when to retry a 429/503; the Retry-After header
 	// carries the same figure in whole seconds.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
@@ -229,9 +242,13 @@ type BuildInfo struct {
 	TraceSchema   string `json:"trace_schema"`
 	TraceVer      int    `json:"trace_version"`
 	// Capabilities lists the server's feature set ("jobs", "events",
-	// "memo", "opt", "opt-admission", "backend:re") so clients
-	// feature-detect from one probe instead of poking endpoints.
+	// "memo", "opt", "opt-admission", "backend:re", "backend:auto") so
+	// clients feature-detect from one probe instead of poking endpoints.
 	Capabilities []string `json:"capabilities,omitempty"`
+	// Backends lists the registered register-file backends by name
+	// (sorted); "auto" is a planner pseudo-backend, advertised through the
+	// "backend:auto" capability instead.
+	Backends []string `json:"backends,omitempty"`
 	// EventsSchema/EventsVer version the /v1/events lifecycle stream,
 	// present when the jobs subsystem is enabled.
 	EventsSchema string `json:"events_schema,omitempty"`
@@ -311,8 +328,21 @@ func (r *RunRequest) validate() error {
 			return fmt.Errorf("program %q: chunk_ways %d out of range [0,min(%d,ways)]",
 				r.ID, r.ChunkWays, aob.MaxWays)
 		}
+	case backend.Auto:
+		if r.Mode == "pipelined" {
+			return fmt.Errorf("program %q: pipelined runs support only the dense backend", r.ID)
+		}
+		// Widths past every backend pass validation and fail at planning
+		// time as a 422 with the profile attached — the planner, not the
+		// request schema, owns that verdict.
+		if r.Ways < 0 {
+			return fmt.Errorf("program %q: negative ways %d", r.ID, r.Ways)
+		}
+		if r.ChunkWays != 0 || r.SpillRuns != 0 {
+			return fmt.Errorf("program %q: chunk_ways/spill_runs apply only to the \"re\" backend", r.ID)
+		}
 	default:
-		return fmt.Errorf("program %q: backend %q is not \"dense\" or \"re\"", r.ID, r.Backend)
+		return fmt.Errorf("program %q: backend %q is not \"dense\", \"re\", or \"auto\"", r.ID, r.Backend)
 	}
 	if r.Stages != 0 && r.Stages != 4 && r.Stages != 5 {
 		return fmt.Errorf("program %q: stages %d is not 4 or 5", r.ID, r.Stages)
@@ -362,6 +392,7 @@ func resultFrom(fr *farm.Result, id string, index int) RunResult {
 		Insts:  fr.Insts,
 		Cached: fr.Cached,
 	}
+	out.Backend = fr.Backend
 	if fr.Pipe != nil {
 		out.Cycles = fr.Pipe.Cycles
 		out.Stalls = fr.Pipe.TotalStalls()

@@ -68,6 +68,12 @@ type serverObs struct {
 	// optimize-at-first-admission path (memo miss, recompiler applied
 	// cleanly, shrunk image executed under the original memo key).
 	optAdmission *obs.Counter
+
+	// autoPlanned counts "auto" requests the static planner resolved to a
+	// concrete backend; unservable those it refused with 422 because the
+	// requested width exceeds every backend.
+	autoPlanned *obs.Counter
+	unservable  *obs.Counter
 }
 
 // newServerObs registers the serving metric set on r. A nil registry yields
@@ -108,6 +114,10 @@ func newServerObs(r *obs.Registry) *serverObs {
 			"instructions removed by applied rewrites, summed over requests"),
 		optAdmission: r.Counter("server_opt_admission_applied_total",
 			"async jobs executed through an optimize-at-admission rewrite"),
+		autoPlanned: r.Counter("server_backend_auto_planned_total",
+			"\"auto\" requests the static planner resolved to a concrete backend"),
+		unservable: r.Counter("server_backend_unservable_total",
+			"\"auto\" requests refused with 422: width exceeds every backend"),
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 
 	"tangled/internal/aob"
 	"tangled/internal/asm"
+	"tangled/internal/backend"
 	"tangled/internal/farm"
 	"tangled/internal/jobs"
 	"tangled/internal/lint"
@@ -724,7 +725,8 @@ func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
 		TraceSchema:   obs.TraceSchema,
 		TraceVer:      obs.TraceSchemaVersion,
 	}
-	info.Capabilities = []string{"opt", "backend:re"}
+	info.Capabilities = []string{"opt", "backend:re", "backend:auto"}
+	info.Backends = backend.Names()
 	if s.cfg.MemoCap > 0 {
 		info.Capabilities = append(info.Capabilities, "memo")
 	}
@@ -806,6 +808,38 @@ func (s *Server) buildJob(req *RunRequest, id string, reqCtx context.Context) (f
 		job.REChunkWays = req.ChunkWays
 		job.RESpillRuns = req.SpillRuns
 	}
+	if job.Backend == backend.Auto && job.Mode == farm.Functional {
+		// Resolve the pseudo-backend here, before the memo probe and
+		// admission, so every downstream identity (idempotency replay,
+		// coalescing, memo keys) is over the concrete backend. The probe
+		// prefers a backend that already has this exact run memoized.
+		probe := func(cfg qat.Config) bool {
+			t := job
+			t.Ways, t.ConstantRegs = cfg.Ways, cfg.ConstantRegs
+			t.Backend, t.REChunkWays, t.RESpillRuns = cfg.Backend, cfg.ChunkWays, cfg.SpillRuns
+			_, hit := s.engine.MemoProbe(&t)
+			return hit
+		}
+		plan, err := backend.PlanAuto(prog,
+			qat.Config{Ways: job.Ways, ConstantRegs: job.ConstantRegs, Backend: backend.Auto}, probe)
+		if err != nil {
+			var ue *backend.UnservableError
+			if errors.As(err, &ue) {
+				s.obs.unservable.Inc()
+				return farm.Job{}, http.StatusUnprocessableEntity, &ErrorResponse{
+					Error:   fmt.Sprintf("program %q: %s", id, err),
+					Profile: ue.Profile,
+				}
+			}
+			return farm.Job{}, http.StatusBadRequest, &ErrorResponse{
+				Error: fmt.Sprintf("program %q: %s", id, err),
+			}
+		}
+		s.obs.autoPlanned.Inc()
+		job.Backend = plan.Config.Backend
+		job.REChunkWays = plan.Config.ChunkWays
+		job.RESpillRuns = plan.Config.SpillRuns
+	}
 	return job, 0, nil
 }
 
@@ -853,7 +887,7 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{
 		return false
 	}
 	// Tolerate (and require no more than) one JSON value.
-	if err := dec.Decode(&struct{}{}); err != io.EOF {
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
 		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "trailing data after JSON body"})
 		return false
 	}

@@ -19,6 +19,12 @@
 //     context (deadlines, cancellation) has to propagate into run loops.
 //     A call deliberately detaching work may carry a trailing
 //     "// detached:" comment naming why.
+//   - errsentinel: well-known sentinel errors (io.EOF, context.Canceled,
+//     ...) are compared with errors.Is, never == / != — identity breaks
+//     under %w wrapping, and errors here travel through wrapped layers
+//     (farm context joins, server classification, client transport). A
+//     deliberate exact comparison may carry a trailing "// sentinel-ok:"
+//     comment naming why.
 package analyzers
 
 import (
@@ -77,7 +83,7 @@ type Analyzer struct {
 
 // All returns every repository analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicScope, CtxBackground}
+	return []*Analyzer{AtomicScope, CtxBackground, ErrSentinel}
 }
 
 // Run parses every .go file under root (skipping vendor-ish and VCS

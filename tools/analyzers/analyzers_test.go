@@ -19,6 +19,9 @@ func TestFixtureTree(t *testing.T) {
 	want := []string{
 		"cmd/tool/ctx.go:8 ctxbackground",
 		"cmd/tool/ctx.go:13 ctxbackground",
+		"internal/client/sentinel.go:12 errsentinel",
+		"internal/client/sentinel.go:15 errsentinel",
+		"internal/client/sentinel.go:18 errsentinel",
 		"internal/qat/bad.go:4 atomicscope",
 	}
 	if len(got) != len(want) {

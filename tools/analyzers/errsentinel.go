@@ -1,0 +1,94 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// sentinelErrors lists well-known sentinel error values whose identity
+// comparison breaks under wrapping: an error that arrives through
+// fmt.Errorf("...: %w", err) or a custom Unwrap chain is the sentinel for
+// errors.Is but not for ==. Qualified name -> true.
+var sentinelErrors = map[string]bool{
+	"io.EOF":                   true,
+	"io.ErrUnexpectedEOF":      true,
+	"io.ErrClosedPipe":         true,
+	"context.Canceled":         true,
+	"context.DeadlineExceeded": true,
+	"sql.ErrNoRows":            true,
+	"net.ErrClosed":            true,
+	"os.ErrNotExist":           true,
+	"os.ErrExist":              true,
+	"os.ErrClosed":             true,
+	"os.ErrDeadlineExceeded":   true,
+}
+
+// ErrSentinel flags == / != comparisons against well-known sentinel errors
+// (io.EOF, context.Canceled, ...): they miss wrapped errors, which is how
+// failures actually travel through this codebase's layers (farm joins
+// contexts, the server classifies with errors.Is, the client decodes
+// wrapped transport failures). Use errors.Is instead. A comparison that is
+// deliberately exact — e.g. a decoder contract that documents the unwrapped
+// sentinel — may carry a same-line "// sentinel-ok: <why>" comment.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc:  "compare sentinel errors with errors.Is, not == / != (escape: \"// sentinel-ok: <why>\")",
+	Check: func(f *File) []Finding {
+		var out []Finding
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			name := sentinelName(bin.X)
+			if name == "" {
+				name = sentinelName(bin.Y)
+			}
+			if name == "" || sentinelOKOnLine(f, bin.Pos()) {
+				return true
+			}
+			verb := "errors.Is(err, " + name + ")"
+			if bin.Op == token.NEQ {
+				verb = "!" + verb
+			}
+			out = append(out, f.finding("errsentinel", bin.Pos(),
+				"comparison with %s misses wrapped errors: use %s (or mark \"// sentinel-ok: <why>\")",
+				name, verb))
+			return true
+		})
+		return out
+	},
+}
+
+// sentinelName returns the qualified name when e is a selector over one of
+// the known sentinel error values, else "".
+func sentinelName(e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	name := pkg.Name + "." + sel.Sel.Name
+	if !sentinelErrors[name] {
+		return ""
+	}
+	return name
+}
+
+// sentinelOKOnLine reports whether a "// sentinel-ok:" comment sits on the
+// same line as pos.
+func sentinelOKOnLine(f *File, pos token.Pos) bool {
+	line := f.Fset.Position(pos).Line
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if f.Fset.Position(c.Pos()).Line == line && strings.Contains(c.Text, "sentinel-ok:") {
+				return true
+			}
+		}
+	}
+	return false
+}

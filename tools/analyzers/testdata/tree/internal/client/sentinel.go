@@ -1,0 +1,35 @@
+// Package client exercises every errsentinel case.
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+func read(r io.Reader) error {
+	var err error
+	if err == io.EOF { // finding: line 12
+		return nil
+	}
+	if io.EOF != err { // finding: line 15 (sentinel on the left)
+		return err
+	}
+	if err != context.Canceled { // finding: line 18
+		return err
+	}
+	return nil
+}
+
+func fine(err error) error {
+	if errors.Is(err, io.EOF) { // ok: errors.Is
+		return nil
+	}
+	if err == io.ErrShortWrite { // ok: not a wrapping-prone sentinel in the list
+		return nil
+	}
+	if err == io.EOF { // sentinel-ok: json.Decoder documents the unwrapped value
+		return nil
+	}
+	return err
+}
