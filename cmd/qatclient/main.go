@@ -117,14 +117,24 @@ func main() {
 	case "events":
 		err = cmdEvents(ctx, c, *since, *follow)
 	case "health":
-		var h server.Health
-		if h, err = c.Health(ctx); err == nil {
-			err = printJSON(h)
+		// The superset decoder works against worker and coordinator alike:
+		// a plain worker simply has no node rows, so print the flat shape.
+		var h server.ClusterHealth
+		if h, err = c.ClusterHealth(ctx); err == nil {
+			if len(h.Nodes) == 0 {
+				err = printJSON(h.Health)
+			} else {
+				err = printJSON(h)
+			}
 		}
 	case "buildinfo":
-		var bi server.BuildInfo
-		if bi, err = c.BuildInfo(ctx); err == nil {
-			err = printJSON(bi)
+		var bi server.ClusterBuildInfo
+		if bi, err = c.ClusterBuildInfo(ctx); err == nil {
+			if len(bi.Nodes) == 0 {
+				err = printJSON(bi.BuildInfo)
+			} else {
+				err = printJSON(bi)
+			}
 		}
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)

@@ -13,12 +13,20 @@
 //	qatserver [-addr HOST:PORT] [-workers N] [-queue N]
 //	          [-batch-window D] [-batch-max N] [-memo-cap N]
 //	          [-metrics FILE] [-trace FILE] [-drain-timeout D] [-quiet]
+//	qatserver -cluster-coordinator -nodes URL,URL,... [-addr HOST:PORT]
+//	          [-heartbeat D] [-fail-after N] [-replicas N]
 //
 // Examples:
 //
 //	qatserver                          # serve on 127.0.0.1:8080
 //	qatserver -addr :9090 -workers 4   # all interfaces, four workers
 //	qatserver -metrics m.prom -trace t.jsonl   # flush both on drain
+//	qatserver -cluster-coordinator -nodes http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// With -cluster-coordinator the process serves no programs itself: it
+// fronts the listed worker fleet, routing /v1/run and /v1/batch by memo
+// key on a consistent-hash ring, probing each worker's /v1/healthz on a
+// heartbeat, and aggregating /v1/healthz and /v1/buildinfo (docs/CLUSTER.md).
 //
 // The metrics registry is always on (it also backs GET /metrics and the
 // /debug/ face); -metrics FILE additionally writes the Prometheus text
@@ -57,6 +65,11 @@ func main() {
 	jobWorkers := flag.Int("jobs-workers", 0, "concurrent async jobs (default half of -workers; needs -jobs-dir)")
 	optAdmission := flag.Bool("opt-admission", false, "run the optimizing recompiler on async jobs at first admission (memo key stays the original program; needs -jobs-dir)")
 	quiet := flag.Bool("quiet", false, "suppress startup/drain log lines")
+	clusterMode := flag.Bool("cluster-coordinator", false, "serve as a cluster coordinator over -nodes instead of executing programs")
+	nodes := flag.String("nodes", "", "comma-separated worker base URLs (needs -cluster-coordinator)")
+	heartbeat := flag.Duration("heartbeat", 0, "coordinator health-probe interval (default 500ms; needs -cluster-coordinator)")
+	failAfter := flag.Int("fail-after", 0, "consecutive missed heartbeats before a node is evicted (default 3; needs -cluster-coordinator)")
+	replicas := flag.Int("replicas", 0, "virtual nodes per worker on the hash ring (default 128; needs -cluster-coordinator)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "qatserver: unexpected arguments; see -h")
@@ -67,6 +80,20 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "qatserver: "+format+"\n", args...)
 		}
+	}
+
+	if *clusterMode {
+		runCoordinator(coordinatorOpts{
+			addr: *addr, nodes: *nodes, heartbeat: *heartbeat,
+			failAfter: *failAfter, replicas: *replicas,
+			metricsOut: *metricsOut, portFile: *portFile,
+			drainTimeout: *drainTimeout, logf: logf,
+		})
+		return
+	}
+	if *nodes != "" {
+		fmt.Fprintln(os.Stderr, "qatserver: -nodes needs -cluster-coordinator")
+		os.Exit(2)
 	}
 
 	reg := obs.NewRegistry()

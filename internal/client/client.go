@@ -120,6 +120,35 @@ func retryable(status int) bool {
 	return false
 }
 
+// retryableGet is the GET variant: 503 is excluded because on the GET
+// surface it is a meaningful answer, not a transient fault — a draining
+// server reports 503 from /v1/healthz, and a health prober (the cluster
+// coordinator's heartbeat) must see that state immediately instead of
+// burning its retry budget against it.
+func retryableGet(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway:
+		return true
+	}
+	return false
+}
+
+// drainLimit bounds how much of a leftover response body is read before
+// Close. Anything this client receives is far smaller; a body still going
+// past the limit is cheaper to abandon (closing the connection) than to
+// stream to /dev/null.
+const drainLimit = 256 << 10
+
+// drainClose consumes the unread remainder of a response body (bounded)
+// and closes it. Closing an undrained body tears down the TCP connection,
+// so without this every retry and every poll pays a fresh dial instead of
+// reusing the keep-alive connection.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, drainLimit))
+	body.Close()
+}
+
 // backoff computes the sleep before attempt n (0-based), honoring a server
 // Retry-After hint when one was given: exponential with full jitter,
 // capped.
@@ -145,24 +174,48 @@ func (c *Client) post(ctx context.Context, path string, body, out interface{}) e
 	if err != nil {
 		return err
 	}
+	return c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, retryable, out)
+}
+
+// get runs one GET through the same backoff/Retry-After machinery as post,
+// so a single transient transport flake doesn't fail a healthz/buildinfo
+// poll (which a heartbeat loop would escalate into a missed beat).
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	return c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	}, retryableGet, out)
+}
+
+// do is the shared retry loop: mkReq builds a fresh request per attempt,
+// retryStatus decides which HTTP statuses are worth another one (transport
+// errors always are), and ok bodies decode into out. Bodies are drained
+// before Close on every path so the connection returns to the keep-alive
+// pool.
+func (c *Client) do(ctx context.Context, mkReq func() (*http.Request, error), retryStatus func(int) bool, out interface{}) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+		req, err := mkReq()
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", "application/json")
 		resp, err := c.http.Do(req)
 		var retryAfter time.Duration
 		if err == nil {
 			if resp.StatusCode < 300 {
 				err = json.NewDecoder(resp.Body).Decode(out)
-				resp.Body.Close()
+				drainClose(resp.Body)
 				return err
 			}
 			apiErr := decodeError(resp)
-			resp.Body.Close()
-			if !retryable(resp.StatusCode) {
+			drainClose(resp.Body)
+			if !retryStatus(resp.StatusCode) {
 				return apiErr
 			}
 			lastErr = apiErr
@@ -180,22 +233,6 @@ func (c *Client) post(ctx context.Context, path string, body, out interface{}) e
 			return err
 		}
 	}
-}
-
-func (c *Client) get(ctx context.Context, path string, out interface{}) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return decodeError(resp)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func decodeError(resp *http.Response) *APIError {
@@ -279,7 +316,7 @@ func (c *Client) Batch(ctx context.Context, req server.BatchRequest) ([]server.R
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode >= 300 {
 		return nil, decodeError(resp)
 	}
@@ -339,6 +376,25 @@ func (c *Client) Health(ctx context.Context) (server.Health, error) {
 // BuildInfo fetches /v1/buildinfo.
 func (c *Client) BuildInfo(ctx context.Context) (server.BuildInfo, error) {
 	var out server.BuildInfo
+	err := c.get(ctx, "/v1/buildinfo", &out)
+	return out, err
+}
+
+// ClusterHealth fetches /v1/healthz and decodes the cluster superset shape.
+// Against a plain worker the Nodes slice is simply empty, so callers can
+// use this unconditionally and branch on len(Nodes) to detect a
+// coordinator. A degraded cluster answers 503 with a body, surfaced as
+// (*APIError, zero value) like Health.
+func (c *Client) ClusterHealth(ctx context.Context) (server.ClusterHealth, error) {
+	var out server.ClusterHealth
+	err := c.get(ctx, "/v1/healthz", &out)
+	return out, err
+}
+
+// ClusterBuildInfo fetches /v1/buildinfo with per-node rows when the far
+// side is a coordinator (empty Nodes against a plain worker).
+func (c *Client) ClusterBuildInfo(ctx context.Context) (server.ClusterBuildInfo, error) {
+	var out server.ClusterBuildInfo
 	err := c.get(ctx, "/v1/buildinfo", &out)
 	return out, err
 }

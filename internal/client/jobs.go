@@ -54,7 +54,7 @@ func (c *Client) CancelJob(ctx context.Context, id string) (server.JobStatus, er
 	if err != nil {
 		return server.JobStatus{}, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode >= 300 {
 		return server.JobStatus{}, decodeError(resp)
 	}
@@ -115,6 +115,9 @@ func (c *Client) Events(ctx context.Context, since uint64, follow bool, fn func(
 	if err != nil {
 		return err
 	}
+	// No drainClose here: with follow=true this body is a live unbounded
+	// stream, and draining it would block until the server sends more.
+	// Abandoning the connection is the only way to hang up on a follow.
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		return decodeError(resp)

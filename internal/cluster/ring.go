@@ -1,0 +1,160 @@
+// Package cluster shards the farm across a fleet of qatserver workers: a
+// coordinator that fronts N nodes and routes POST /v1/run and /v1/batch
+// across them. Routing is keyed on the memo ExecKey over a consistent-hash
+// ring, so a repeated program lands on the node whose memo cache already
+// holds its entry; node membership follows each worker's own lifecycle —
+// heartbeat health probing, draining workers steered away (SIGTERM
+// graceful-drain is the node-leave protocol), dead workers evicted after K
+// missed beats and re-admitted when they answer again, and 429/Retry-After
+// backpressure demoting a node for exactly the hinted window.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle owned
+// by a physical node.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. A key is owned by the
+// first point clockwise from its hash, so adding a node moves only the keys
+// that fall into the new node's arcs (~keys/nodes of them) and removing it
+// moves exactly those keys back — never a mod-N reshuffle. Safe for
+// concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	nodes    map[string]bool
+}
+
+// DefaultReplicas is the virtual-node count per physical node: enough that
+// per-node load stays within a few tens of percent of even, cheap enough
+// that membership changes stay microseconds.
+const DefaultReplicas = 128
+
+// NewRing builds an empty ring; replicas <= 0 means DefaultReplicas.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// pointHash places virtual node i of a node ID on the circle. SHA-256
+// (keyed like the memo keys it must spread) rather than a weak string hash:
+// point placement runs only on membership changes, and uniformity is what
+// bounds the rebalance volume.
+func pointHash(node string, i int) uint64 {
+	h := sha256.Sum256([]byte(node + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Add inserts a node's virtual points (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{pointHash(node, i), node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node's virtual points (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Contains reports node membership.
+func (r *Ring) Contains(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nodes[node]
+}
+
+// Nodes returns the member IDs, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Lookup returns the node owning key (false on an empty ring).
+func (r *Ring) Lookup(key uint64) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.ownerIdx(key)].node, true
+}
+
+// Successors returns up to n distinct nodes in ring order starting at the
+// key's owner — the failover sequence for a keyed request: if the owner is
+// unavailable the key's traffic concentrates on the next arc over, instead
+// of scattering.
+func (r *Ring) Successors(key uint64, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.ownerIdx(key); i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// ownerIdx finds the first point at or clockwise of key. Callers hold mu.
+func (r *Ring) ownerIdx(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return i
+}

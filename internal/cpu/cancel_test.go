@@ -1,0 +1,60 @@
+package cpu
+
+// Cancel-latency pin: a canceled running program must unwind at the next
+// checkpoint, a bounded number of instructions after the cancellation
+// lands — not at some distant context check. The cancel is injected
+// deterministically through the Out writer (sys print executes the hook
+// synchronously inside Step), so the instruction count after the cancel
+// point is exact, not a wall-clock race.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tangled/internal/asm"
+)
+
+// cancelOnWrite cancels a context the first time the program prints.
+type cancelOnWrite struct {
+	cancel context.CancelFunc
+	writes int
+}
+
+func (w *cancelOnWrite) Write(p []byte) (int, error) {
+	w.writes++
+	w.cancel()
+	return len(p), nil
+}
+
+func TestCancelCheckpointLatency(t *testing.T) {
+	// Print once (cancel fires there), then spin forever.
+	prog, err := asm.Assemble(`
+	lex $0,2
+	lex $1,65
+	sys
+loop:
+	add $2,$3
+	br loop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := New(2)
+	m.Out = &cancelOnWrite{cancel: cancel}
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunContext(ctx, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The cancel landed on instruction 3 (the sys). Execution may continue
+	// only until the next checkpoint: ≤ ctxCheckInterval more instructions.
+	const setup = 3
+	if got, max := m.Stats.Insts, uint64(setup+ctxCheckInterval); got > max {
+		t.Fatalf("ran %d instructions, want ≤ %d (checkpoint every %d)", got, max, ctxCheckInterval)
+	}
+}

@@ -326,9 +326,12 @@ func (m *Machine) Run(maxSteps uint64) error {
 }
 
 // ctxCheckInterval is how many instructions RunContext executes between
-// cancellation polls: frequent enough that a runaway program is stopped
-// within microseconds, rare enough that the poll is invisible in throughput.
-const ctxCheckInterval = 2048
+// cancellation polls. The budget is set by the slowest instruction, not the
+// average: one Qat op on 65,536-bit words costs microseconds, so a 2048-step
+// window could hold a canceled job's worker for milliseconds. 256 keeps the
+// poll under ~0.1% of even pure-scalar loops while letting DELETE /v1/jobs
+// and router-side disconnects reclaim the worker promptly.
+const ctxCheckInterval = 256
 
 // RunContext executes like Run but honors context cancellation, polling ctx
 // every ctxCheckInterval instructions. On cancellation the returned error

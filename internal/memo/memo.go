@@ -49,6 +49,12 @@ const DefaultCap = 4096
 // Key is the canonical content address of one execution.
 type Key [sha256.Size]byte
 
+// Uint64 folds the key to a 64-bit ring coordinate (its first 8 bytes,
+// big-endian). SHA-256 output is uniform, so any 8 bytes place keys evenly
+// on a consistent-hash ring; the cluster router uses this to land repeat
+// programs on the node whose memo cache already holds the entry.
+func (k Key) Uint64() uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
 // ExecKey describes one deterministic execution for hashing. Callers
 // normalize defaults before hashing (farm resolves ways 0 to the full
 // hardware and an all-zero pipeline config to pipeline.DefaultConfig), so

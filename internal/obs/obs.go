@@ -216,6 +216,60 @@ func (v *GaugeVec) Values() []string {
 	return vals
 }
 
+// CounterSet is a counter family over one label with a dynamic value set —
+// the counter analog of GaugeVec, for populations only known at serving
+// time (cluster node IDs, tenant names). Children are created on first use
+// and never removed; the label population is assumed bounded by the owning
+// layer (a cluster's node set, an admission policy's tenant set).
+type CounterSet struct {
+	name, help, label string
+	mu                sync.Mutex
+	counters          map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it on first
+// use. Nil sets return nil, which every Counter method accepts.
+func (v *CounterSet) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.counters[value]
+	if !ok {
+		c = &Counter{name: v.name}
+		v.counters[value] = c
+	}
+	return c
+}
+
+// Values returns the current label values, sorted (empty for nil).
+func (v *CounterSet) Values() []string {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.counters))
+	for k := range v.counters {
+		vals = append(vals, k)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// Total sums the whole family (0 for nil).
+func (v *CounterSet) Total() uint64 {
+	if v == nil {
+		return 0
+	}
+	var n uint64
+	for _, val := range v.Values() {
+		n += v.With(val).Value()
+	}
+	return n
+}
+
 // gaugeFunc is a scrape-time gauge: the function is called during export.
 type gaugeFunc struct {
 	name, help string
@@ -319,6 +373,16 @@ func (r *Registry) CounterVec(name, help, label string, values []string) *Counte
 	return r.add(v).(*CounterVec)
 }
 
+// CounterSet registers (or fetches) a dynamic-label counter family. Nil
+// registries return nil.
+func (r *Registry) CounterSet(name, help, label string) *CounterSet {
+	if r == nil {
+		return nil
+	}
+	v := &CounterSet{name: name, help: help, label: label, counters: make(map[string]*Counter)}
+	return r.add(v).(*CounterSet)
+}
+
 // WritePrometheus renders every registered metric in Prometheus text
 // exposition format (version 0.0.4), in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) {
@@ -364,6 +428,10 @@ func (r *Registry) Snapshot() map[string]interface{} {
 			for _, v := range m.Values() {
 				out[m.name+"{"+m.label+"="+strconv.Quote(v)+"}"] = m.With(v).Value()
 			}
+		case *CounterSet:
+			for _, v := range m.Values() {
+				out[m.name+"{"+m.label+"="+strconv.Quote(v)+"}"] = m.With(v).Value()
+			}
 		}
 	}
 	return out
@@ -382,6 +450,8 @@ func helpOf(m metric) string {
 	case *CounterVec:
 		return m.help
 	case *GaugeVec:
+		return m.help
+	case *CounterSet:
 		return m.help
 	}
 	return ""
@@ -430,6 +500,14 @@ func (v *CounterVec) write(w io.Writer) {
 func (v *GaugeVec) metricName() string { return v.name }
 func (v *GaugeVec) metricType() string { return "gauge" }
 func (v *GaugeVec) write(w io.Writer) {
+	for _, val := range v.Values() {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, escapeLabel(val), v.With(val).Value())
+	}
+}
+
+func (v *CounterSet) metricName() string { return v.name }
+func (v *CounterSet) metricType() string { return "counter" }
+func (v *CounterSet) write(w io.Writer) {
 	for _, val := range v.Values() {
 		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, escapeLabel(val), v.With(val).Value())
 	}

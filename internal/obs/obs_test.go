@@ -200,3 +200,47 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterSet(t *testing.T) {
+	r := NewRegistry()
+	cs := r.CounterSet("node_routed_total", "requests routed per node", "node")
+	cs.With("n1").Inc()
+	cs.With("n1").Add(2)
+	cs.With("n2").Inc()
+	if got := cs.With("n1").Value(); got != 3 {
+		t.Fatalf("n1 = %d, want 3", got)
+	}
+	if got := cs.Total(); got != 4 {
+		t.Fatalf("total = %d, want 4", got)
+	}
+	if vals := cs.Values(); len(vals) != 2 || vals[0] != "n1" || vals[1] != "n2" {
+		t.Fatalf("values = %v", vals)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE node_routed_total counter",
+		`node_routed_total{node="n1"} 3`,
+		`node_routed_total{node="n2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap[`node_routed_total{node="n1"}`] != uint64(3) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	// Nil-safety, like every other handle.
+	var nilSet *CounterSet
+	nilSet.With("x").Inc()
+	if nilSet.Total() != 0 || nilSet.Values() != nil {
+		t.Fatal("nil CounterSet must be a no-op")
+	}
+	var nilReg *Registry
+	if nilReg.CounterSet("x", "", "k") != nil {
+		t.Fatal("nil registry must hand out nil CounterSet")
+	}
+}

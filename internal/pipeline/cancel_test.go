@@ -1,0 +1,57 @@
+package pipeline
+
+// Cancel-latency pin for the pipelined model, mirroring the cpu-side test:
+// the cancel is injected synchronously through the output writer while the
+// program runs, and the cycle count after it must stay within one
+// checkpoint window.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tangled/internal/asm"
+)
+
+type cancelOnWrite struct {
+	cancel context.CancelFunc
+}
+
+func (w *cancelOnWrite) Write(p []byte) (int, error) {
+	w.cancel()
+	return len(p), nil
+}
+
+func TestCancelCheckpointLatency(t *testing.T) {
+	prog, err := asm.Assemble(`
+	lex $0,2
+	lex $1,65
+	sys
+loop:
+	add $2,$3
+	br loop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.SetOutput(&cancelOnWrite{cancel: cancel})
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	err = p.RunContext(ctx, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The sys retires within the first dozen cycles (fill + stalls); after
+	// the cancel lands the pipeline may clock only to the next checkpoint.
+	const setupSlack = 32
+	if got, max := p.Stats.Cycles, uint64(setupSlack+ctxCheckInterval); got > max {
+		t.Fatalf("clocked %d cycles, want ≤ %d (checkpoint every %d)", got, max, ctxCheckInterval)
+	}
+}

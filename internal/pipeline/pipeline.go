@@ -469,8 +469,8 @@ func (p *Pipeline) Run(maxCycles uint64) error {
 }
 
 // ctxCheckInterval is how many cycles RunContext clocks between cancellation
-// polls; see the identical constant in package cpu.
-const ctxCheckInterval = 2048
+// polls; see the identical constant in package cpu for the sizing rationale.
+const ctxCheckInterval = 256
 
 // RunContext clocks like Run but honors context cancellation, polling ctx
 // every ctxCheckInterval cycles. On cancellation the returned error wraps

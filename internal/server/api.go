@@ -86,6 +86,14 @@ type BatchRequest struct {
 	Programs []RunRequest `json:"programs"`
 }
 
+// DeriveBatchProgramID names program i of a batch that did not carry its
+// own ID. Exported because the cluster coordinator derives the same IDs
+// before splitting a batch across nodes, so failover replays are
+// idempotent per program.
+func DeriveBatchProgramID(batchID string, i int) string {
+	return fmt.Sprintf("%s/%d", batchID, i)
+}
+
 // ResultsHeader is the first NDJSON line of a batch response.
 type ResultsHeader struct {
 	Schema  string `json:"schema"`
@@ -293,6 +301,11 @@ type AssembleResponse struct {
 // validate checks a RunRequest and resolves it into a farm job skeleton
 // (program assembly happens separately so assembler diagnostics can surface
 // with line info).
+// Validate checks the request's schema without touching a server: the
+// cluster coordinator runs it before deriving a routing key, so requests
+// that no worker could accept skip keyed routing.
+func (r *RunRequest) Validate() error { return r.validate() }
+
 func (r *RunRequest) validate() error {
 	if r.Src == "" && len(r.Words) == 0 {
 		return fmt.Errorf("program %q has neither src nor words", r.ID)
@@ -402,4 +415,54 @@ func resultFrom(fr *farm.Result, id string, index int) RunResult {
 		out.Code = codeForRunError(fr.Err)
 	}
 	return out
+}
+
+// ClusterHealth is the body of GET /v1/healthz served by a cluster
+// coordinator: the fleet aggregate in the same top-level fields a single
+// server reports (so existing pollers keep working unmodified), plus the
+// per-node detail.
+type ClusterHealth struct {
+	Health
+	// NodesHealthy counts nodes currently eligible for routing.
+	NodesHealthy int `json:"nodes_healthy"`
+	// Nodes describes every registered worker, healthy or not.
+	Nodes []NodeHealth `json:"nodes,omitempty"`
+}
+
+// NodeHealth is one worker's row in the coordinator's health aggregate.
+type NodeHealth struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// State is "healthy", "draining", "demoted", or "dead".
+	State string `json:"state"`
+	// MissedBeats counts consecutive failed heartbeat probes.
+	MissedBeats int `json:"missed_beats,omitempty"`
+	// DemotedMs is the remaining backpressure-demotion window.
+	DemotedMs int64 `json:"demoted_ms,omitempty"`
+	// InFlight is the coordinator's count of requests on this node.
+	InFlight int64 `json:"in_flight"`
+	// Routed counts requests this coordinator sent to the node.
+	Routed uint64 `json:"routed"`
+	// QueueDepth/Workers/JobsDone echo the node's last health report.
+	QueueDepth int64  `json:"queue_depth"`
+	Workers    int    `json:"workers"`
+	JobsDone   uint64 `json:"jobs_done"`
+}
+
+// ClusterBuildInfo is the body of GET /v1/buildinfo served by a cluster
+// coordinator: fleet-wide conservative aggregates (minimum ceilings,
+// capability intersection) in the single-server fields, plus per-node
+// detail.
+type ClusterBuildInfo struct {
+	BuildInfo
+	Nodes []NodeBuildInfo `json:"nodes,omitempty"`
+}
+
+// NodeBuildInfo is one worker's buildinfo row; Err is set (and Info zero)
+// when the node could not be probed.
+type NodeBuildInfo struct {
+	ID   string    `json:"id"`
+	URL  string    `json:"url"`
+	Info BuildInfo `json:"info,omitempty"`
+	Err  string    `json:"err,omitempty"`
 }

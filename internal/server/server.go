@@ -575,7 +575,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		p := &req.Programs[i]
 		ids[i] = p.ID
 		if ids[i] == "" {
-			ids[i] = fmt.Sprintf("%s/%d", batchID, i)
+			ids[i] = DeriveBatchProgramID(batchID, i)
 		}
 		job, failStatus, errResp := s.buildJob(p, ids[i], r.Context())
 		if errResp != nil {

@@ -18,6 +18,7 @@ var atomicAllowed = []string{
 	"internal/jobs", // worker/drain coordination in the async queue and its tests
 	"internal/server",
 	"internal/client",
+	"internal/cluster", // per-node in-flight/missed-beat/demotion clocks on the router hot path
 	"cmd/qatclient",
 }
 
